@@ -1,0 +1,103 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B per experiment (see DESIGN.md's
+// per-experiment index). Each iteration reruns the full experiment —
+// workload characterization, operational analysis, ROCC simulation, or
+// the real measurement testbed — at a reduced scale chosen so the whole
+// suite completes in minutes. For paper-scale output, run
+//
+//	go run ./cmd/roccbench -exp all -paper
+package rocc
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"rocc/internal/experiments"
+)
+
+// benchOptions scales experiments for benchmarking: long enough for the
+// effects to be visible, short enough for the suite to be quick.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Seed:            1,
+		DurationUS:      5e5, // 0.5 simulated seconds per run
+		Reps:            2,
+		TestbedDuration: 60 * time.Millisecond,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opt); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Section 2: workload characterization.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Section 3: operational analysis.
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Section 4.2: NOW simulation.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+
+// Section 4.3: SMP simulation.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B)  { benchExperiment(b, "fig24") }
+
+// Section 4.4: MPP simulation.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkFig25(b *testing.B)  { benchExperiment(b, "fig25") }
+func BenchmarkFig26(b *testing.B)  { benchExperiment(b, "fig26") }
+func BenchmarkFig27(b *testing.B)  { benchExperiment(b, "fig27") }
+func BenchmarkFig28(b *testing.B)  { benchExperiment(b, "fig28") }
+
+// Section 5: measurement-based validation (real testbed).
+func BenchmarkFig30(b *testing.B)  { benchExperiment(b, "fig30") }
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+func BenchmarkFig31(b *testing.B)  { benchExperiment(b, "fig31") }
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// Multi-node measurement testbed (Figure 29 setup, direct vs tree).
+func BenchmarkExtCluster(b *testing.B) { benchExperiment(b, "ext-cluster") }
+
+// Extensions: adaptive IS overhead regulation (§6 future work) and the
+// W3 bottleneck search the IS feeds.
+func BenchmarkExtAdaptive(b *testing.B)   { benchExperiment(b, "ext-adaptive") }
+func BenchmarkExtConsultant(b *testing.B) { benchExperiment(b, "ext-consultant") }
+func BenchmarkExtTracing(b *testing.B)    { benchExperiment(b, "ext-tracing") }
+func BenchmarkExtPhases(b *testing.B)     { benchExperiment(b, "ext-phases") }
+
+// Ablations of design choices (DESIGN.md).
+func BenchmarkAblationPipeCapacity(b *testing.B)  { benchExperiment(b, "ablation-pipecap") }
+func BenchmarkAblationQuantum(b *testing.B)       { benchExperiment(b, "ablation-quantum") }
+func BenchmarkAblationEventQueue(b *testing.B)    { benchExperiment(b, "ablation-eventqueue") }
+func BenchmarkAblationNetContention(b *testing.B) { benchExperiment(b, "ablation-netcontention") }
+func BenchmarkAblationFitting(b *testing.B)       { benchExperiment(b, "ablation-fitting") }
+func BenchmarkAblationDetailed(b *testing.B)      { benchExperiment(b, "ablation-detailed") }

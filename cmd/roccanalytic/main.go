@@ -1,0 +1,118 @@
+// Command roccanalytic evaluates the operational-analysis equations
+// (1)-(16) of Section 3 for one parameterization, or sweeps a parameter.
+//
+// Examples:
+//
+//	roccanalytic -case now -nodes 8 -sp 40
+//	roccanalytic -case mpp-tree -nodes 256 -batch 32
+//	roccanalytic -case smp -nodes 16 -procs 32 -pds 2 -sweep sp -from 1 -to 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rocc/internal/analytic"
+	"rocc/internal/report"
+)
+
+func main() {
+	var (
+		kase  = flag.String("case", "now", "model case: now, smp, mpp-direct, mpp-tree")
+		nodes = flag.Float64("nodes", 8, "number of nodes")
+		procs = flag.Float64("procs", 1, "application processes per node (total for SMP)")
+		pds   = flag.Float64("pds", 1, "Paradyn daemons (SMP)")
+		spMS  = flag.Float64("sp", 40, "sampling period in milliseconds")
+		batch = flag.Float64("batch", 1, "batch size (1 = CF)")
+		sweep = flag.String("sweep", "", "sweep a parameter: sp, nodes, batch, procs, pds")
+		from  = flag.Float64("from", 1, "sweep start")
+		to    = flag.Float64("to", 64, "sweep end (doubling steps)")
+	)
+	flag.Parse()
+
+	base := analytic.DefaultParams()
+	base.Nodes = *nodes
+	base.AppProcs = *procs
+	base.Pds = *pds
+	base.SamplingPeriod = *spMS * 1000
+	base.BatchSize = *batch
+	if err := base.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	eval := func(p analytic.Params) analytic.Metrics {
+		switch strings.ToLower(*kase) {
+		case "now":
+			return p.NOW()
+		case "smp":
+			return p.SMP()
+		case "mpp-direct":
+			return p.MPPDirect()
+		case "mpp-tree":
+			return p.MPPTree()
+		}
+		fatal("unknown case %q", *kase)
+		panic("unreachable")
+	}
+
+	if *sweep == "" {
+		m := eval(base)
+		t := report.NewTable(fmt.Sprintf("Operational analysis (%s)", *kase), "metric", "value")
+		t.AddRow("lambda (messages/sec/node)", report.F(base.Lambda()*1e6))
+		t.AddRow("Pd CPU utilization/node (%)", report.F(m.PdCPUUtil*100))
+		t.AddRow("main Paradyn CPU utilization (%)", report.F(m.ParadynCPUUtil*100))
+		t.AddRow("IS CPU utilization (%)", report.F(m.ISCPUUtil*100))
+		t.AddRow("application CPU utilization/node (%)", report.F(m.AppCPUUtil*100))
+		t.AddRow("IS network utilization (%)", report.F(m.PdNetUtil*100))
+		t.AddRow("monitoring latency/sample (sec)", report.F(m.LatencyUS/1e6))
+		if err := t.Render(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
+	var xs []float64
+	for x := *from; x <= *to; x *= 2 {
+		xs = append(xs, x)
+	}
+	fig := report.NewFigure(fmt.Sprintf("Sweep of %s (%s case)", *sweep, *kase), *sweep,
+		"PdCPU%% / Paradyn%% / App%% / latency_s", xs)
+	series := map[string][]float64{"PdCPU%": nil, "Paradyn%": nil, "App%": nil, "latency_s": nil}
+	for _, x := range xs {
+		p := base
+		switch strings.ToLower(*sweep) {
+		case "sp":
+			p.SamplingPeriod = x * 1000
+		case "nodes":
+			p.Nodes = x
+		case "batch":
+			p.BatchSize = x
+		case "procs":
+			p.AppProcs = x
+		case "pds":
+			p.Pds = x
+		default:
+			fatal("unknown sweep parameter %q", *sweep)
+		}
+		m := eval(p)
+		series["PdCPU%"] = append(series["PdCPU%"], m.PdCPUUtil*100)
+		series["Paradyn%"] = append(series["Paradyn%"], m.ParadynCPUUtil*100)
+		series["App%"] = append(series["App%"], m.AppCPUUtil*100)
+		series["latency_s"] = append(series["latency_s"], m.LatencyUS/1e6)
+	}
+	for _, name := range []string{"PdCPU%", "Paradyn%", "App%", "latency_s"} {
+		if err := fig.Add(name, series[name]); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if err := fig.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "roccanalytic: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command roccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	roccbench -list
+//	roccbench -exp fig17
+//	roccbench -exp all -duration 100 -reps 50   # paper scale
+//	roccbench -exp fig9 -csv                    # CSV series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rocc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		duration  = flag.Float64("duration", 10, "simulated seconds per run")
+		reps      = flag.Int("reps", 3, "replications for factorial designs (paper: 50)")
+		testbedMS = flag.Int("testbed-ms", 250, "wall-clock milliseconds per measurement run")
+		csv       = flag.Bool("csv", false, "emit figures as CSV")
+		plot      = flag.Bool("plot", false, "additionally render figures as ASCII charts")
+		paper     = flag.Bool("paper", false, "paper-scale options (100 s, r=50, 5 s testbed; slow)")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "roccbench: -exp required (or -list); e.g. roccbench -exp fig17")
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{
+		Seed:            *seed,
+		DurationUS:      *duration * 1e6,
+		Reps:            *reps,
+		TestbedDuration: time.Duration(*testbedMS) * time.Millisecond,
+		CSV:             *csv,
+		Plot:            *plot,
+	}
+	if *paper {
+		opt = experiments.Paper()
+		opt.CSV = *csv
+		opt.Plot = *plot
+		opt.Seed = *seed
+	}
+
+	if *exp == "all" {
+		if err := experiments.RunAll(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Comma-separated lists run in order: roccbench -exp fig17,fig18,fig19
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "roccbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+	}
+}

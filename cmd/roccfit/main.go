@@ -1,0 +1,128 @@
+// Command roccfit runs the workload-characterization pipeline: it
+// generates a synthetic AIX-like trace (or reads a real one) and produces
+// the paper's Table 1 statistics, Figure 8 distribution fits, and Table 2
+// model parameters.
+//
+// Examples:
+//
+//	roccfit -gen trace.txt -seconds 100          # write a synthetic trace
+//	roccfit -in trace.txt                        # characterize it
+//	roccfit -gen trace.bin -format binary
+//	roccfit -seconds 100                         # generate + characterize in memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocc/internal/report"
+	"rocc/internal/trace"
+	"rocc/internal/workload"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "generate a synthetic trace to this file and exit")
+		in      = flag.String("in", "", "characterize an existing trace file")
+		format  = flag.String("format", "text", "trace file format: text or binary")
+		seconds = flag.Float64("seconds", 100, "trace duration in seconds (generation)")
+		seed    = flag.Uint64("seed", 1, "random seed (generation)")
+		spMS    = flag.Float64("sp", 40, "sampling period in milliseconds (generation)")
+	)
+	flag.Parse()
+
+	var recs []trace.Record
+	var err error
+	switch {
+	case *in != "":
+		recs, err = readTrace(*in, *format)
+	default:
+		recs, err = trace.Generate(trace.GenConfig{
+			Seed:             *seed,
+			DurationUS:       *seconds * 1e6,
+			SamplingPeriodUS: *spMS * 1000,
+			IncludeMainTrace: true,
+		})
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *gen != "" {
+		if err := writeTrace(*gen, *format, recs); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %d records to %s (%s format)\n", len(recs), *gen, *format)
+		return
+	}
+
+	c, err := workload.Characterize(recs)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	t1 := report.NewTable("Table 1: occupancy statistics (microseconds)",
+		"process", "resource", "n", "mean", "sd", "min", "max")
+	for _, class := range c.Classes() {
+		for _, res := range []trace.Resource{trace.CPU, trace.Network} {
+			s, ok := c.Stats[workload.ClassResource{Class: class, Resource: res}]
+			if !ok {
+				continue
+			}
+			t1.AddRow(class, res.String(), fmt.Sprint(s.N),
+				report.F(s.Mean), report.F(s.SD), report.F(s.Min), report.F(s.Max))
+		}
+	}
+	if err := t1.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+
+	t2 := report.NewTable("Table 2: fitted distributions (best of exponential/lognormal/weibull by K-S)",
+		"process/resource", "best fit", "KS", "Q-Q r")
+	for _, class := range c.Classes() {
+		for _, res := range []trace.Resource{trace.CPU, trace.Network} {
+			f, ok := c.Fits[workload.ClassResource{Class: class, Resource: res}]
+			if !ok {
+				continue
+			}
+			t2.AddRow(fmt.Sprintf("%s/%s", class, res), f.Best.Dist.String(),
+				report.F(f.Best.KS), report.F(f.Best.QQvsR))
+		}
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+	if sp := c.SamplingPeriod(); sp > 0 {
+		fmt.Printf("estimated sampling period: %.1f ms\n", sp/1000)
+	}
+}
+
+func readTrace(path, format string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format == "binary" {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadText(f)
+}
+
+func writeTrace(path, format string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "binary" {
+		return trace.WriteBinary(f, recs)
+	}
+	return trace.WriteText(f, recs)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "roccfit: "+format+"\n", args...)
+	os.Exit(1)
+}

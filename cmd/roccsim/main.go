@@ -1,0 +1,216 @@
+// Command roccsim runs a single ROCC simulation scenario and prints its
+// metrics. Every factor of the paper's experiments is a flag.
+//
+// Examples:
+//
+//	roccsim -arch now -nodes 8 -sp 40 -policy cf
+//	roccsim -arch mpp -nodes 256 -policy bf -batch 32 -forward tree
+//	roccsim -arch smp -nodes 16 -procs 32 -pds 2 -policy bf -batch 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/report"
+	"rocc/internal/scenario"
+	"rocc/internal/trace"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "now", "architecture: now, smp, mpp")
+		nodes    = flag.Int("nodes", 8, "number of nodes (CPUs for SMP)")
+		procs    = flag.Int("procs", 1, "application processes per node (total for SMP)")
+		pds      = flag.Int("pds", 1, "Paradyn daemons (per node; total for SMP)")
+		spMS     = flag.Float64("sp", 40, "sampling period in milliseconds (0 = uninstrumented)")
+		policy   = flag.String("policy", "cf", "forwarding policy: cf or bf")
+		batch    = flag.Int("batch", 32, "batch size under the BF policy")
+		fwd      = flag.String("forward", "direct", "forwarding configuration: direct or tree (MPP)")
+		dur      = flag.Float64("duration", 100, "simulated seconds")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		pipeCap  = flag.Int("pipe", 256, "pipe capacity in samples")
+		quantum  = flag.Float64("quantum", 10000, "CPU scheduling quantum in microseconds")
+		barrier  = flag.Float64("barrier", 0, "barrier period in milliseconds (0 = none)")
+		commApp  = flag.Bool("comm", false, "communication-intensive application type")
+		noBg     = flag.Bool("nobg", false, "disable PVM daemon and other background processes")
+		reps     = flag.Int("reps", 1, "replications (CI printed when > 1)")
+		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
+		traceOut = flag.String("trace", "", "record node 0's occupancy to this AIX-like trace file")
+		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
+		cfgOut   = flag.String("save-config", "", "write the scenario as JSON and exit")
+	)
+	flag.Parse()
+
+	if *cfgIn != "" {
+		runFromFile(*cfgIn, *reps)
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	switch strings.ToLower(*arch) {
+	case "now":
+		cfg.Arch = core.NOW
+	case "smp":
+		cfg.Arch = core.SMP
+	case "mpp":
+		cfg.Arch = core.MPP
+	default:
+		fatal("unknown architecture %q", *arch)
+	}
+	cfg.Nodes = *nodes
+	cfg.AppProcs = *procs
+	cfg.Pds = *pds
+	cfg.SamplingPeriod = *spMS * 1000
+	switch strings.ToLower(*policy) {
+	case "cf":
+		cfg.Policy = forward.CF
+	case "bf":
+		cfg.Policy = forward.BF
+		cfg.BatchSize = *batch
+	default:
+		fatal("unknown policy %q", *policy)
+	}
+	switch strings.ToLower(*fwd) {
+	case "direct":
+		cfg.Forwarding = forward.Direct
+	case "tree":
+		cfg.Forwarding = forward.Tree
+	default:
+		fatal("unknown forwarding %q", *fwd)
+	}
+	cfg.Duration = *dur * 1e6
+	cfg.Seed = *seed
+	cfg.PipeCapacity = *pipeCap
+	cfg.Quantum = *quantum
+	cfg.BarrierPeriod = *barrier * 1000
+	cfg.Background = !*noBg
+	cfg.Warmup = *warmup * 1e6
+	if *commApp {
+		cfg.Workload = core.CommIntensive.Apply(core.DefaultWorkload())
+	}
+
+	if *cfgOut != "" {
+		f, err := os.Create(*cfgOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := scenario.Save(f, scenario.FromConfig(cfg)); err != nil {
+			f.Close()
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote scenario to %s\n", *cfgOut)
+		return
+	}
+
+	var res core.Result
+	var rep core.Replicated
+	if *traceOut != "" {
+		// Trace recording requires direct model access; single run.
+		m, err := core.New(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rec, err := m.EnableTraceRecording(0)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res = m.Run()
+		rep = core.Replicated{Results: []core.Result{res}}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := trace.WriteText(f, rec.Records()); err != nil {
+			f.Close()
+			fatal("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("recorded %d occupancy records to %s\n", rec.Len(), *traceOut)
+		*reps = 1
+	} else {
+		var err error
+		rep, err = core.RunReplications(cfg, *reps)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res = rep.Results[0]
+	}
+
+	printResult(cfg, rep, *reps)
+}
+
+// printResult renders the metric table for a (possibly replicated) run.
+func printResult(cfg core.Config, rep core.Replicated, reps int) {
+	res := rep.Results[0]
+	t := report.NewTable(fmt.Sprintf("ROCC simulation: %s, %d nodes, SP=%.1f ms, %s(batch %d), %s forwarding",
+		cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, cfg.Policy, cfg.BatchSize, cfg.Forwarding),
+		"metric", "value")
+	row := func(name string, m core.Metric) {
+		if reps > 1 {
+			ci := rep.CI(m, 0.90)
+			t.AddRow(name, fmt.Sprintf("%s ± %s (90%% CI)", report.F(ci.Mean), report.F(ci.HalfWidth)))
+		} else {
+			t.AddRow(name, report.F(m(res)))
+		}
+	}
+	row("Pd CPU time/node (sec)", core.MetricPdCPUTime)
+	row("Pd CPU utilization/node (%)", core.MetricPdCPUUtil)
+	row("main Paradyn CPU time (sec)", core.MetricMainCPUTime)
+	row("main Paradyn CPU utilization (%)", core.MetricMainCPUUtil)
+	row("IS CPU utilization/node (%)", core.MetricISCPUUtil)
+	row("application CPU utilization/node (%)", core.MetricAppCPUUtil)
+	row("monitoring latency/sample (sec)", core.MetricLatency)
+	row("monitoring latency P95 (sec)", core.MetricLatencyP95)
+	row("monitoring latency max (sec)", core.MetricLatencyMax)
+	row("forwarding latency/sample (sec)", core.MetricFwdLatency)
+	row("throughput at main (samples/sec)", core.MetricThroughput)
+	row("Pd forwarding throughput (samples/sec)", core.MetricPdThroughput)
+	row("network utilization (%)", core.MetricNetUtil)
+	t.AddRow("samples generated", fmt.Sprint(res.SamplesGenerated))
+	t.AddRow("samples received", fmt.Sprint(res.SamplesReceived))
+	t.AddRow("messages merged (tree)", fmt.Sprint(res.MessagesMerged))
+	t.AddRow("blocked pipe writes", fmt.Sprint(res.BlockedPuts))
+	if res.BarrierReleases > 0 {
+		t.AddRow("barrier releases", fmt.Sprint(res.BarrierReleases))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// runFromFile loads a JSON scenario, runs it, and prints the metrics.
+func runFromFile(path string, reps int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	spec, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		fatal("%v", err)
+	}
+	rep, err := core.RunReplications(cfg, reps)
+	if err != nil {
+		fatal("%v", err)
+	}
+	printResult(cfg, rep, reps)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "roccsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command rocctrace inspects AIX-like occupancy trace files: per-process
+// totals (the execution statistics the Section 5 experiments extract from
+// trace files) and windowed utilization timelines.
+//
+// Examples:
+//
+//	roccfit -gen trace.txt -seconds 100
+//	rocctrace -in trace.txt
+//	rocctrace -in trace.txt -timeline 20
+//	rocctrace -in trace.bin -format binary -timeline 12 -resource net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rocc/internal/report"
+	"rocc/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "trace file to inspect (required)")
+		format   = flag.String("format", "text", "trace format: text or binary")
+		timeline = flag.Int("timeline", 0, "render an N-window utilization timeline")
+		resource = flag.String("resource", "cpu", "timeline resource: cpu or net")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rocctrace: -in required")
+		os.Exit(2)
+	}
+	recs, err := readTrace(*in, *format)
+	if err != nil {
+		fatal("%v", err)
+	}
+	an, err := trace.Analyze(recs)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s: %d records over %.3f s", *in, an.Records, an.DurationUS/1e6),
+		"process", "pids", "cpu time (s)", "cpu reqs", "cpu share", "net time (s)", "net reqs")
+	for _, tot := range an.Totals {
+		t.AddRow(tot.Class, fmt.Sprint(len(tot.PIDs)),
+			report.F(tot.CPUTimeUS/1e6), fmt.Sprint(tot.CPUCount),
+			report.Pct(an.CPUShare(tot.Class)*100),
+			report.F(tot.NetTimeUS/1e6), fmt.Sprint(tot.NetCount))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+
+	if *timeline > 0 {
+		res, err := trace.ParseResource(strings.ToLower(*resource))
+		if err != nil {
+			fatal("%v", err)
+		}
+		classes, shares, err := trace.Timeline(recs, res, *timeline)
+		if err != nil {
+			fatal("%v", err)
+		}
+		width := an.DurationUS / float64(*timeline)
+		xs := make([]float64, *timeline)
+		for i := range xs {
+			xs[i] = (float64(i) + 0.5) * width / 1e6
+		}
+		fig := report.NewFigure(
+			fmt.Sprintf("%s occupancy share per %.3f-s window", res, width/1e6),
+			"t_sec", "share", xs)
+		for i, class := range classes {
+			if err := fig.Add(class, shares[i]); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if err := fig.Plot(os.Stdout, report.PlotOptions{}); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func readTrace(path, format string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format == "binary" {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadText(f)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rocctrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Bottleneck example: run the miniature Performance Consultant — the W3
+// search that the Paradyn instrumentation system exists to feed — over two
+// live simulations with known bottlenecks, and watch it diagnose them from
+// the periodically collected data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocc"
+)
+
+func diagnose(name string, cfg rocc.Config, cons rocc.ConsultantConfig) {
+	res, err := rocc.SearchBottlenecks(cfg, cons, 1e6 /* 1 s intervals */, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s ==\n", name)
+	if len(res.Findings) == 0 {
+		fmt.Println("  no bottleneck confirmed")
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("  confirmed %-34s evidence %5.1f%%  (interval %d)\n",
+			f.Hypothesis, f.MeanValue*100, f.ConfirmedAt)
+	}
+	fmt.Printf("  peak simultaneous hypothesis tests: %d\n\n", res.PeakActiveTests)
+}
+
+func main() {
+	// A compute-intensive NOW: the search should confirm CPU-bound and
+	// refine to the individual nodes.
+	cpuCfg := rocc.DefaultConfig()
+	cpuCfg.Nodes = 4
+	cpuCfg.Workload = rocc.ComputeIntensive.Apply(rocc.DefaultWorkload())
+	diagnose("compute-intensive NOW", cpuCfg, rocc.ConsultantConfig{
+		Window:     3,
+		Thresholds: map[rocc.Why]float64{rocc.CPUBound: 0.8},
+	})
+
+	// A bus-saturated SMP (the §4.3.3 pathology): communication-bound.
+	busCfg := rocc.DefaultConfig()
+	busCfg.Arch = rocc.SMP
+	busCfg.Nodes = 32
+	busCfg.AppProcs = 32
+	busCfg.Workload = rocc.CommIntensive.Apply(rocc.DefaultWorkload())
+	diagnose("bus-saturated SMP", busCfg, rocc.ConsultantConfig{Nodes: 1, Window: 3})
+}

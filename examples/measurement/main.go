@@ -1,0 +1,48 @@
+// Measurement example: run the real mini instrumentation system of
+// Section 5 — an instrumented NAS-like kernel forwarding timestamped
+// samples over loopback TCP — and compare the measured direct overheads
+// of the CF and BF policies on two applications, like Figure 31.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rocc"
+)
+
+func main() {
+	for _, kernel := range []string{"bt", "is"} {
+		fmt.Printf("== %s kernel (real execution, 1 ms sampling, 1 s run) ==\n", kernel)
+		var cf rocc.MeasureResult
+		for _, policy := range []rocc.Policy{rocc.CF, rocc.BF} {
+			cfg := rocc.MeasureConfig{
+				Kernel:         kernel,
+				Policy:         policy,
+				BatchSize:      32,
+				SamplingPeriod: time.Millisecond,
+				Duration:       time.Second,
+				Seed:           1,
+			}
+			res, err := rocc.Measure(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s: daemon %.4f s (%d write syscalls), collector %.4f s, "+
+				"%d samples, mean latency %.3f ms\n",
+				policy, res.Daemon.BusySec, res.Daemon.Writes, res.Collector.BusySec,
+				res.Collector.Samples, res.Collector.MeanLatencySec*1000)
+			if policy == rocc.CF {
+				cf = res
+			} else if cf.Daemon.BusySec > 0 {
+				fmt.Printf("  -> BF: %.0f%% fewer syscalls, %.0f%% less daemon overhead\n",
+					(1-float64(res.Daemon.Writes)/float64(cf.Daemon.Writes))*100,
+					(1-res.Daemon.BusySec/cf.Daemon.BusySec)*100)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("The overhead reduction is driven by the forwarding policy, not by")
+	fmt.Println("which application is instrumented — the paper's Table 8 conclusion.")
+}

@@ -1,0 +1,3 @@
+module rocc
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package adaptive implements the extension the paper's Discussion
+// (Section 6) points to: with a model of the instrumentation system,
+// "users can specify tolerable limits for IS overheads relative to the
+// needs of their applications. The IS can use the model to adapt its
+// behavior in order to regulate overheads" — the direction of Paradyn's
+// dynamic cost model (Hollingsworth & Miller, EuroPar '96).
+//
+// Controller is a feedback regulator that observes the direct IS overhead
+// (daemon CPU utilization) over successive control intervals and adjusts
+// the sampling period multiplicatively to keep the overhead at a
+// user-specified target, within configured sampling-period bounds. It is
+// deliberately model-assisted: the initial sampling period is seeded from
+// the operational-analysis prediction (equation 2 inverted), and feedback
+// then corrects for everything the closed-form model misses.
+package adaptive
+
+import (
+	"errors"
+	"math"
+)
+
+// Config parameterizes the overhead regulator.
+type Config struct {
+	// TargetOverhead is the tolerable direct IS overhead as a fraction of
+	// CPU time (e.g. 0.01 for 1%).
+	TargetOverhead float64
+	// MinPeriodUS and MaxPeriodUS bound the sampling period (microseconds).
+	MinPeriodUS, MaxPeriodUS float64
+	// Gain damps the multiplicative correction per control interval;
+	// 1 applies the full proportional correction, smaller values react
+	// more slowly but oscillate less. Default 0.5.
+	Gain float64
+	// Deadband suppresses corrections when the observed overhead is
+	// within this relative distance of the target (default 0.1 = ±10%).
+	Deadband float64
+}
+
+// Validate checks the configuration and fills defaults.
+func (c Config) Validate() (Config, error) {
+	if c.TargetOverhead <= 0 || c.TargetOverhead >= 1 {
+		return c, errors.New("adaptive: TargetOverhead must be in (0, 1)")
+	}
+	if c.MinPeriodUS <= 0 || c.MaxPeriodUS < c.MinPeriodUS {
+		return c, errors.New("adaptive: need 0 < MinPeriodUS <= MaxPeriodUS")
+	}
+	if c.Gain <= 0 || c.Gain > 1 {
+		c.Gain = 0.5
+	}
+	if c.Deadband <= 0 || c.Deadband >= 1 {
+		c.Deadband = 0.1 // use a tiny positive value for "no deadband"
+	}
+	return c, nil
+}
+
+// Controller regulates the sampling period from overhead observations.
+type Controller struct {
+	cfg    Config
+	period float64
+
+	// History of (observed overhead, period) pairs for inspection.
+	Observations []Observation
+}
+
+// Observation is one control-interval record.
+type Observation struct {
+	OverheadFraction float64
+	PeriodUS         float64 // period in force during the interval
+	NewPeriodUS      float64 // period chosen for the next interval
+}
+
+// New creates a controller. The initial sampling period is seeded from
+// the ROCC operational model: utilization = perSampleCPUDemand / period
+// (equation 2 with batch 1 and one process), inverted at the target and
+// clamped to the configured bounds. perSampleCPUDemandUS of zero seeds at
+// the maximum period.
+func New(cfg Config, perSampleCPUDemandUS float64) (*Controller, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.MaxPeriodUS
+	if perSampleCPUDemandUS > 0 {
+		period = perSampleCPUDemandUS / cfg.TargetOverhead
+	}
+	c := &Controller{cfg: cfg, period: clamp(period, cfg.MinPeriodUS, cfg.MaxPeriodUS)}
+	return c, nil
+}
+
+// Period returns the sampling period currently in force (microseconds).
+func (c *Controller) Period() float64 { return c.period }
+
+// Observe feeds one control interval's measured overhead fraction and
+// returns the sampling period for the next interval. Overhead is
+// proportional to sampling rate (1/period), so the proportional correction
+// is multiplicative in the period: period *= overhead/target, damped by
+// the gain and bounded.
+func (c *Controller) Observe(overheadFraction float64) float64 {
+	if math.IsNaN(overheadFraction) || overheadFraction < 0 {
+		overheadFraction = 0
+	}
+	obs := Observation{OverheadFraction: overheadFraction, PeriodUS: c.period}
+	ratio := overheadFraction / c.cfg.TargetOverhead
+	if math.Abs(ratio-1) > c.cfg.Deadband {
+		factor := 1 + c.cfg.Gain*(ratio-1)
+		if factor < 0.1 {
+			factor = 0.1 // never shrink/grow more than 10x per interval
+		}
+		if factor > 10 {
+			factor = 10
+		}
+		c.period = clamp(c.period*factor, c.cfg.MinPeriodUS, c.cfg.MaxPeriodUS)
+	}
+	obs.NewPeriodUS = c.period
+	c.Observations = append(c.Observations, obs)
+	return c.period
+}
+
+// Converged reports whether the last n observations were all inside the
+// deadband (or pinned at a period bound, the best the controller can do).
+func (c *Controller) Converged(n int) bool {
+	if len(c.Observations) < n {
+		return false
+	}
+	for _, obs := range c.Observations[len(c.Observations)-n:] {
+		ratio := obs.OverheadFraction / c.cfg.TargetOverhead
+		if math.Abs(ratio-1) <= c.cfg.Deadband {
+			continue // inside the band
+		}
+		// Pinned: overhead off-target but the period cannot move further
+		// in the needed direction.
+		if ratio > 1 && obs.NewPeriodUS >= c.cfg.MaxPeriodUS {
+			continue
+		}
+		if ratio < 1 && obs.NewPeriodUS <= c.cfg.MinPeriodUS {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

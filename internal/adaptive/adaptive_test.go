@@ -1,0 +1,218 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/core"
+)
+
+func ctrlCfg() Config {
+	return Config{
+		TargetOverhead: 0.01,
+		MinPeriodUS:    1000,
+		MaxPeriodUS:    1e6,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{TargetOverhead: 0, MinPeriodUS: 1, MaxPeriodUS: 2},
+		{TargetOverhead: 1.5, MinPeriodUS: 1, MaxPeriodUS: 2},
+		{TargetOverhead: 0.1, MinPeriodUS: 0, MaxPeriodUS: 2},
+		{TargetOverhead: 0.1, MinPeriodUS: 5, MaxPeriodUS: 2},
+	}
+	for i, c := range bad {
+		if _, err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	good, err := ctrlCfg().Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Gain != 0.5 || good.Deadband != 0.1 {
+		t.Fatalf("defaults not applied: %+v", good)
+	}
+}
+
+func TestModelSeededInitialPeriod(t *testing.T) {
+	// Equation 2 inverted: period = demand/target = 267/0.01 = 26700 us.
+	c, err := New(ctrlCfg(), 267)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Period()-26700) > 1e-9 {
+		t.Fatalf("seed period %v, want 26700", c.Period())
+	}
+	// Zero demand seeds at the maximum (most conservative) period.
+	c2, _ := New(ctrlCfg(), 0)
+	if c2.Period() != 1e6 {
+		t.Fatalf("zero-demand seed %v", c2.Period())
+	}
+	// Seed clamps to bounds.
+	cfg := ctrlCfg()
+	cfg.MaxPeriodUS = 10000
+	c3, _ := New(cfg, 267)
+	if c3.Period() != 10000 {
+		t.Fatalf("clamped seed %v", c3.Period())
+	}
+}
+
+func TestObserveRaisesPeriodWhenOverBudget(t *testing.T) {
+	c, _ := New(ctrlCfg(), 267)
+	p0 := c.Period()
+	p1 := c.Observe(0.05) // 5x over the 1% target
+	if p1 <= p0 {
+		t.Fatalf("period should grow: %v -> %v", p0, p1)
+	}
+	if len(c.Observations) != 1 || c.Observations[0].OverheadFraction != 0.05 {
+		t.Fatal("observation not recorded")
+	}
+}
+
+func TestObserveLowersPeriodWhenUnderBudget(t *testing.T) {
+	c, _ := New(ctrlCfg(), 267)
+	p0 := c.Period()
+	p1 := c.Observe(0.001) // well under target: sample faster
+	if p1 >= p0 {
+		t.Fatalf("period should shrink: %v -> %v", p0, p1)
+	}
+}
+
+func TestDeadbandSuppressesJitter(t *testing.T) {
+	c, _ := New(ctrlCfg(), 267)
+	p0 := c.Period()
+	if got := c.Observe(0.0105); got != p0 { // within ±10% of target
+		t.Fatalf("deadband violated: %v -> %v", p0, got)
+	}
+}
+
+func TestObserveBounds(t *testing.T) {
+	c, _ := New(ctrlCfg(), 267)
+	for i := 0; i < 50; i++ {
+		c.Observe(0.9) // massively over budget
+	}
+	if c.Period() != 1e6 {
+		t.Fatalf("period should pin at max: %v", c.Period())
+	}
+	for i := 0; i < 200; i++ {
+		c.Observe(0)
+	}
+	if c.Period() != 1000 {
+		t.Fatalf("period should pin at min: %v", c.Period())
+	}
+	// NaN and negatives are treated as zero overhead.
+	if got := c.Observe(math.NaN()); got != 1000 {
+		t.Fatalf("NaN handling: %v", got)
+	}
+}
+
+func TestConverged(t *testing.T) {
+	c, _ := New(ctrlCfg(), 267)
+	if c.Converged(3) {
+		t.Fatal("no observations yet")
+	}
+	for i := 0; i < 3; i++ {
+		c.Observe(0.01)
+	}
+	if !c.Converged(3) {
+		t.Fatal("on-target observations should converge")
+	}
+	c.Observe(0.5)
+	if c.Converged(1) {
+		t.Fatal("off-target should not converge")
+	}
+	// Pinned at max while over budget counts as converged (can't do more).
+	for i := 0; i < 60; i++ {
+		c.Observe(0.5)
+	}
+	if !c.Converged(3) {
+		t.Fatal("pinned at max should count as converged")
+	}
+}
+
+// Property: the controller's period always stays within bounds for any
+// observation sequence.
+func TestQuickPeriodBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		c, err := New(ctrlCfg(), 267)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			c.Observe(math.Abs(v))
+			if c.Period() < 1000 || c.Period() > 1e6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closed loop against the real ROCC simulation: the regulator drives the
+// observed overhead toward the target.
+func TestRegulateClosedLoop(t *testing.T) {
+	simCfg := core.DefaultConfig()
+	simCfg.Nodes = 2
+	ctrl := Config{
+		TargetOverhead: 0.02, // 2%
+		MinPeriodUS:    500,
+		MaxPeriodUS:    500000,
+		Gain:           0.7,
+	}
+	res, err := Regulate(simCfg, ctrl, 2e6, 12) // 12 x 2-second intervals
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 12 {
+		t.Fatalf("%d intervals", len(res.Intervals))
+	}
+	// The final overhead should be within a factor of two of the target
+	// (generous: stochastic workload, short intervals).
+	if res.FinalOverhead < 0.005 || res.FinalOverhead > 0.06 {
+		t.Fatalf("final overhead %.4f not regulated toward 0.02 (period %v)",
+			res.FinalOverhead, res.FinalPeriodUS)
+	}
+}
+
+func TestRegulateRespondsToTarget(t *testing.T) {
+	simCfg := core.DefaultConfig()
+	simCfg.Nodes = 2
+	run := func(target float64) float64 {
+		res, err := Regulate(simCfg, Config{
+			TargetOverhead: target, MinPeriodUS: 200, MaxPeriodUS: 1e6, Gain: 0.7,
+		}, 2e6, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalPeriodUS
+	}
+	tight := run(0.005) // 0.5% budget
+	loose := run(0.05)  // 5% budget
+	if loose >= tight {
+		t.Fatalf("looser budget should sample faster: period %v (5%%) vs %v (0.5%%)", loose, tight)
+	}
+}
+
+func TestRegulateErrors(t *testing.T) {
+	simCfg := core.DefaultConfig()
+	if _, err := Regulate(simCfg, ctrlCfg(), 0, 5); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if _, err := Regulate(simCfg, ctrlCfg(), 1e6, 0); err == nil {
+		t.Fatal("zero intervals should fail")
+	}
+	if _, err := Regulate(simCfg, Config{}, 1e6, 1); err == nil {
+		t.Fatal("bad controller config should fail")
+	}
+	bad := simCfg
+	bad.Nodes = 0
+	if _, err := Regulate(bad, ctrlCfg(), 1e6, 1); err == nil {
+		t.Fatal("bad sim config should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package adaptive
+
+import (
+	"errors"
+
+	"rocc/internal/core"
+	"rocc/internal/procs"
+)
+
+// RegulationResult records one closed-loop regulation run.
+type RegulationResult struct {
+	// Intervals holds the controller's observation history.
+	Intervals []Observation
+	// FinalPeriodUS is the sampling period after the last interval.
+	FinalPeriodUS float64
+	// FinalOverhead is the overhead fraction observed in the last interval.
+	FinalOverhead float64
+	// Converged reports whether the last three intervals were on target.
+	Converged bool
+}
+
+// Regulate runs the ROCC simulation in closed loop with the overhead
+// controller: the model executes one control interval, the daemon CPU
+// utilization over that interval is fed to the controller, and the
+// sampling period of every application process is updated in place. This
+// demonstrates model-based IS self-regulation on top of the same
+// simulation core used for the open-loop studies.
+func Regulate(simCfg core.Config, ctrlCfg Config, intervalUS float64, intervals int) (RegulationResult, error) {
+	if intervalUS <= 0 {
+		return RegulationResult{}, errors.New("adaptive: intervalUS must be positive")
+	}
+	if intervals < 1 {
+		return RegulationResult{}, errors.New("adaptive: need at least one interval")
+	}
+	ctrl, err := New(ctrlCfg, simCfg.Cost.PerMsgCPU.Mean()*float64(maxInt(simCfg.AppProcs, 1)))
+	if err != nil {
+		return RegulationResult{}, err
+	}
+
+	simCfg.SamplingPeriod = ctrl.Period()
+	simCfg.Duration = intervalUS * float64(intervals)
+	m, err := core.New(simCfg)
+	if err != nil {
+		return RegulationResult{}, err
+	}
+	m.Start()
+
+	var res RegulationResult
+	prevBusy := 0.0
+	capacity := cpuCapacityPerInterval(m, intervalUS)
+	for i := 0; i < intervals; i++ {
+		m.Sim.Run(intervalUS * float64(i+1))
+		busy := 0.0
+		for _, cpu := range m.NodeCPUs {
+			busy += cpu.Busy(procs.OwnerPd)
+		}
+		overhead := (busy - prevBusy) / capacity
+		prevBusy = busy
+		newPeriod := ctrl.Observe(overhead)
+		for _, app := range m.Apps {
+			app.SamplingPeriod = newPeriod
+		}
+		res.FinalOverhead = overhead
+	}
+	res.Intervals = ctrl.Observations
+	res.FinalPeriodUS = ctrl.Period()
+	res.Converged = ctrl.Converged(3)
+	return res, nil
+}
+
+// cpuCapacityPerInterval returns total CPU microseconds available per
+// control interval across the node CPUs the daemons run on.
+func cpuCapacityPerInterval(m *core.Model, intervalUS float64) float64 {
+	if m.Cfg.Arch == core.SMP {
+		return float64(m.Cfg.Nodes) * intervalUS
+	}
+	return float64(len(m.NodeCPUs)) * intervalUS
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLambdaEq1(t *testing.T) {
+	p := DefaultParams()
+	// 1/40000 * 1/1 * 1 = 25 messages/second = 2.5e-5 per microsecond.
+	if !almost(p.Lambda(), 2.5e-5, 1e-12) {
+		t.Fatalf("lambda %v", p.Lambda())
+	}
+	p.BatchSize = 32
+	if !almost(p.Lambda(), 2.5e-5/32, 1e-15) {
+		t.Fatal("batching must divide lambda")
+	}
+	p.AppProcs = 4
+	if !almost(p.Lambda(), 4*2.5e-5/32, 1e-15) {
+		t.Fatal("app processes must multiply lambda")
+	}
+}
+
+func TestNOWEquations(t *testing.T) {
+	p := DefaultParams()
+	m := p.NOW()
+	l := 2.5e-5
+	if !almost(m.PdCPUUtil, l*267, 1e-12) { // eq (2)
+		t.Fatalf("uPd %v", m.PdCPUUtil)
+	}
+	if !almost(m.PdNetUtil, 8*l*71, 1e-12) { // eq (3)
+		t.Fatalf("uNet %v", m.PdNetUtil)
+	}
+	if !almost(m.ParadynCPUUtil, 8*l*3208, 1e-12) { // eq (5)
+		t.Fatalf("uMain %v", m.ParadynCPUUtil)
+	}
+	if !almost(m.AppCPUUtil, 1-l*267, 1e-12) { // eq (6)
+		t.Fatalf("uApp %v", m.AppCPUUtil)
+	}
+	wantLat := 267/(1-l*267) + 71/(1-8*l*71) // eq (4)
+	if !almost(m.LatencyUS, wantLat, 1e-9) {
+		t.Fatalf("latency %v, want %v", m.LatencyUS, wantLat)
+	}
+}
+
+func TestBFReducesAnalyticOverhead(t *testing.T) {
+	cf := DefaultParams()
+	cf.SamplingPeriod = 5000
+	bf := cf
+	bf.BatchSize = 32
+	mcf, mbf := cf.NOW(), bf.NOW()
+	if mbf.PdCPUUtil >= mcf.PdCPUUtil/10 {
+		t.Fatalf("batching should cut utilization ~32x: %v vs %v",
+			mbf.PdCPUUtil, mcf.PdCPUUtil)
+	}
+	if mbf.LatencyUS >= mcf.LatencyUS {
+		t.Fatal("lower load should reduce queueing latency")
+	}
+}
+
+func TestSaturationDivergesLatency(t *testing.T) {
+	p := DefaultParams()
+	p.SamplingPeriod = 100 // absurdly fast sampling: main CPU saturates
+	p.Nodes = 64
+	m := p.NOW()
+	if m.PdNetUtil != 1 {
+		t.Fatalf("network should saturate: %v", m.PdNetUtil)
+	}
+	if !math.IsInf(m.LatencyUS, 1) {
+		t.Fatalf("latency should diverge at saturation: %v", m.LatencyUS)
+	}
+}
+
+func TestSMPEquations(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 16
+	p.AppProcs = 32
+	p.Pds = 2
+	m := p.SMP()
+	l := (1.0 / 40000) * 32 * 2
+	if !almost(m.PdCPUUtil, l*267/16, 1e-12) { // eq (7)
+		t.Fatalf("uPd %v", m.PdCPUUtil)
+	}
+	if !almost(m.ParadynCPUUtil, l*3208/16, 1e-12) { // eq (8)
+		t.Fatalf("uMain %v", m.ParadynCPUUtil)
+	}
+	wantIS := (2*m.PdCPUUtil + m.ParadynCPUUtil) / 3 // eq (9)
+	if !almost(m.ISCPUUtil, wantIS, 1e-12) {
+		t.Fatalf("uIS %v, want %v", m.ISCPUUtil, wantIS)
+	}
+	if !almost(m.AppCPUUtil, 1-wantIS, 1e-12) { // eq (10)
+		t.Fatal("uApp")
+	}
+	if !almost(m.PdNetUtil, l*71, 1e-12) { // eq (11)
+		t.Fatal("uBus")
+	}
+}
+
+func TestSMPMoreDaemonsRaiseISLoad(t *testing.T) {
+	p1 := DefaultParams()
+	p1.Nodes = 16
+	p1.AppProcs = 32
+	p4 := p1
+	p4.Pds = 4
+	if p4.SMP().PdNetUtil <= p1.SMP().PdNetUtil {
+		t.Fatal("more daemons should raise bus load (eq 1 SMP form)")
+	}
+}
+
+func TestMPPDirectMatchesNOW(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 256
+	if p.MPPDirect() != p.NOW() {
+		t.Fatal("MPP direct must equal the NOW equations")
+	}
+}
+
+func TestMPPTreeEquations(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 256
+	direct := p.MPPDirect()
+	tree := p.MPPTree()
+	// §4.4.2: tree forwarding costs extra daemon CPU (merge work)...
+	if tree.PdCPUUtil <= direct.PdCPUUtil {
+		t.Fatalf("tree uPd %v not above direct %v", tree.PdCPUUtil, direct.PdCPUUtil)
+	}
+	// ...and the root delivers merged traffic, so main sees fewer, larger
+	// messages: eq (14) gives 2*lambda*D rather than n*lambda*D.
+	if tree.ParadynCPUUtil >= direct.ParadynCPUUtil {
+		t.Fatalf("tree main util %v should be below direct %v at 256 nodes",
+			tree.ParadynCPUUtil, direct.ParadynCPUUtil)
+	}
+	// eq (13) hand-check for n=4: [2*l*D + 1*(l*D+2*l*Dm) + l*Dm]/4.
+	p4 := DefaultParams()
+	p4.Nodes = 4
+	l := p4.Lambda()
+	want := (2*l*267 + (l*267 + 2*l*267) + l*267) / 4
+	if got := p4.MPPTree().PdCPUUtil; !almost(got, want, 1e-12) {
+		t.Fatalf("eq13 n=4: got %v want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{SamplingPeriod: 0, BatchSize: 1, AppProcs: 1, Nodes: 1, Pds: 1},
+		{SamplingPeriod: 1, BatchSize: 0, AppProcs: 1, Nodes: 1, Pds: 1},
+		{SamplingPeriod: 1, BatchSize: 1, AppProcs: 0, Nodes: 1, Pds: 1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if DefaultParams().Validate() != nil {
+		t.Fatal("defaults must validate")
+	}
+}
+
+// Property: utilizations are in [0,1] and latency positive for any sane
+// parameterization.
+func TestQuickMetricsBounded(t *testing.T) {
+	f := func(sp16, bs8, ap8, nodes8, pds4 uint8) bool {
+		p := DefaultParams()
+		p.SamplingPeriod = float64(sp16)*500 + 500
+		p.BatchSize = float64(bs8%128) + 1
+		p.AppProcs = float64(ap8%32) + 1
+		p.Nodes = float64(nodes8%255) + 2
+		p.Pds = float64(pds4%4) + 1
+		for _, m := range []Metrics{p.NOW(), p.SMP(), p.MPPTree()} {
+			for _, u := range []float64{m.PdCPUUtil, m.ParadynCPUUtil, m.ISCPUUtil, m.PdNetUtil} {
+				if u < 0 || u > 1 {
+					return false
+				}
+			}
+			if m.LatencyUS <= 0 {
+				return false
+			}
+			if m.AppCPUUtil > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVASingleQueue(t *testing.T) {
+	// One queue, one customer: X = 1/D, U = 1.
+	res, err := MVA(1, []Station{{Demand: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Throughput, 0.01, 1e-12) || !almost(res.Utilization[0], 1, 1e-12) {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestMVAKnownTwoStation(t *testing.T) {
+	// Classic example: demands 2 and 1, N=2.
+	// N=1: R = 2+1=3, X=1/3, q=(2/3, 1/3).
+	// N=2: R1=2*(1+2/3)=10/3, R2=1*(1+1/3)=4/3, R=14/3, X=2/(14/3)=3/7.
+	res, err := MVA(2, []Station{{Demand: 2}, {Demand: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Throughput, 3.0/7, 1e-12) {
+		t.Fatalf("X %v, want 3/7", res.Throughput)
+	}
+	if !almost(res.Utilization[0], 6.0/7, 1e-12) {
+		t.Fatalf("U1 %v", res.Utilization[0])
+	}
+}
+
+func TestMVAWithDelayStation(t *testing.T) {
+	// Think-time station adds demand to response but never queues.
+	res, err := MVA(3, []Station{{Demand: 50}, {Demand: 1000, Delay: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization[1] != 0 {
+		t.Fatal("delay station must report zero utilization")
+	}
+	// Throughput bounded by both 1/D_queue and N/(D_total).
+	if res.Throughput > 1.0/50 || res.Throughput > 3.0/1050 {
+		t.Fatalf("X %v violates bounds", res.Throughput)
+	}
+}
+
+// Property: MVA throughput increases with customers and respects the
+// bottleneck bound 1/maxDemand.
+func TestQuickMVAMonotone(t *testing.T) {
+	f := func(d1, d2 uint8, n uint8) bool {
+		stations := []Station{{Demand: float64(d1) + 1}, {Demand: float64(d2) + 1}}
+		maxD := stations[0].Demand
+		if stations[1].Demand > maxD {
+			maxD = stations[1].Demand
+		}
+		prev := 0.0
+		for k := 1; k <= int(n%20)+2; k++ {
+			res, err := MVA(k, stations)
+			if err != nil {
+				return false
+			}
+			if res.Throughput < prev-1e-12 || res.Throughput > 1/maxD+1e-12 {
+				return false
+			}
+			prev = res.Throughput
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	if _, err := MVA(0, []Station{{Demand: 1}}); err == nil {
+		t.Fatal("want error for 0 customers")
+	}
+	if _, err := MVA(1, nil); err == nil {
+		t.Fatal("want error for no stations")
+	}
+	if _, err := MVA(1, []Station{{Demand: -1}}); err == nil {
+		t.Fatal("want error for negative demand")
+	}
+}

@@ -1,0 +1,63 @@
+package analytic
+
+import "errors"
+
+// Bounds holds asymptotic operational bounds for a closed queueing
+// network (Denning & Buzen; Lazowska et al. ch. 5) — the quickest of the
+// "back-of-the-envelope" checks Section 3 advocates before any
+// simulation.
+type Bounds struct {
+	// DMax is the bottleneck demand, DSum the total demand per cycle.
+	DMax, DSum float64
+	// NStar is the saturation population DSum/DMax (with think time Z:
+	// (DSum+Z)/DMax).
+	NStar float64
+	// XUpper returns the throughput upper bound at population n.
+	// XLower is the pessimistic (fully serialized) bound.
+	XUpperAt func(n float64) float64
+	XLowerAt func(n float64) float64
+	// RLowerAt returns the response-time lower bound at population n.
+	RLowerAt func(n float64) float64
+}
+
+// AsymptoticBounds computes operational bounds for a closed network with
+// per-cycle service demands and optional think time z.
+func AsymptoticBounds(demands []float64, z float64) (Bounds, error) {
+	if len(demands) == 0 {
+		return Bounds{}, errors.New("analytic: bounds need at least one demand")
+	}
+	if z < 0 {
+		return Bounds{}, errors.New("analytic: negative think time")
+	}
+	var dmax, dsum float64
+	for _, d := range demands {
+		if d < 0 {
+			return Bounds{}, errors.New("analytic: negative demand")
+		}
+		dsum += d
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if dmax == 0 {
+		return Bounds{}, errors.New("analytic: all demands zero")
+	}
+	b := Bounds{DMax: dmax, DSum: dsum, NStar: (dsum + z) / dmax}
+	b.XUpperAt = func(n float64) float64 {
+		bound := n / (dsum + z)
+		if cap := 1 / dmax; cap < bound {
+			return cap
+		}
+		return bound
+	}
+	b.XLowerAt = func(n float64) float64 {
+		return n / (n*dsum + z)
+	}
+	b.RLowerAt = func(n float64) float64 {
+		if r := n*dmax - z; r > dsum {
+			return r
+		}
+		return dsum
+	}
+	return b, nil
+}

@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAsymptoticBoundsKnownCase(t *testing.T) {
+	// Demands 2 and 1, no think time: Dmax=2, Dsum=3, N*=1.5.
+	b, err := AsymptoticBounds([]float64{2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DMax != 2 || b.DSum != 3 || math.Abs(b.NStar-1.5) > 1e-12 {
+		t.Fatalf("%+v", b)
+	}
+	// Below saturation: X <= n/Dsum; above: X <= 1/Dmax.
+	if got := b.XUpperAt(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("XUpper(1) = %v", got)
+	}
+	if got := b.XUpperAt(10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("XUpper(10) = %v", got)
+	}
+	// R lower: max(Dsum, n*Dmax - Z).
+	if got := b.RLowerAt(1); got != 3 {
+		t.Fatalf("RLower(1) = %v", got)
+	}
+	if got := b.RLowerAt(10); got != 20 {
+		t.Fatalf("RLower(10) = %v", got)
+	}
+	// Pessimistic bound below optimistic.
+	if b.XLowerAt(5) > b.XUpperAt(5) {
+		t.Fatal("bounds crossed")
+	}
+}
+
+func TestBoundsWithThinkTime(t *testing.T) {
+	b, err := AsymptoticBounds([]float64{1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NStar != 10 {
+		t.Fatalf("N* = %v, want 10", b.NStar)
+	}
+	if got := b.XUpperAt(5); math.Abs(got-0.5) > 1e-12 { // 5/(1+9)
+		t.Fatalf("XUpper(5) = %v", got)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	if _, err := AsymptoticBounds(nil, 0); err == nil {
+		t.Fatal("empty demands")
+	}
+	if _, err := AsymptoticBounds([]float64{1}, -1); err == nil {
+		t.Fatal("negative think time")
+	}
+	if _, err := AsymptoticBounds([]float64{-1}, 0); err == nil {
+		t.Fatal("negative demand")
+	}
+	if _, err := AsymptoticBounds([]float64{0, 0}, 0); err == nil {
+		t.Fatal("all-zero demands")
+	}
+}
+
+// Property: exact MVA throughput always falls within the operational
+// bounds — the bounds and MVA validate each other.
+func TestQuickMVAWithinBounds(t *testing.T) {
+	f := func(d1, d2 uint8, n8 uint8) bool {
+		demands := []float64{float64(d1) + 1, float64(d2) + 1}
+		b, err := AsymptoticBounds(demands, 0)
+		if err != nil {
+			return false
+		}
+		n := int(n8)%15 + 1
+		res, err := MVA(n, []Station{{Demand: demands[0]}, {Demand: demands[1]}})
+		if err != nil {
+			return false
+		}
+		nf := float64(n)
+		return res.Throughput <= b.XUpperAt(nf)+1e-12 &&
+			res.Throughput >= b.XLowerAt(nf)-1e-12 &&
+			res.ResponseUS >= b.RLowerAt(nf)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package analytic
+
+import "errors"
+
+// Station is one service center in a closed product-form queueing network.
+type Station struct {
+	// Demand is the total service demand per customer visit cycle
+	// (visit ratio x mean service time), in microseconds.
+	Demand float64
+	// Delay marks an infinite-server (think-time) station with no queueing.
+	Delay bool
+}
+
+// MVAResult holds the outputs of exact Mean Value Analysis.
+type MVAResult struct {
+	Throughput   float64   // customers per microsecond
+	ResponseUS   float64   // total response time per cycle
+	Utilization  []float64 // per queueing station (Demand * X)
+	QueueLengths []float64 // mean customers at each station
+}
+
+// MVA performs exact Mean Value Analysis for a closed network with n
+// customers of a single class (Reiser & Lavenberg). Section 3 of the
+// paper considers (and sets aside) MVA for the application workload; it
+// is provided here as part of the operational-analysis toolkit.
+func MVA(n int, stations []Station) (MVAResult, error) {
+	if n < 1 {
+		return MVAResult{}, errors.New("analytic: MVA needs at least one customer")
+	}
+	if len(stations) == 0 {
+		return MVAResult{}, errors.New("analytic: MVA needs at least one station")
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return MVAResult{}, errors.New("analytic: negative demand")
+		}
+	}
+	q := make([]float64, len(stations)) // queue lengths at k-1 customers
+	var x float64
+	for k := 1; k <= n; k++ {
+		var rTotal float64
+		r := make([]float64, len(stations))
+		for i, s := range stations {
+			if s.Delay {
+				r[i] = s.Demand
+			} else {
+				r[i] = s.Demand * (1 + q[i])
+			}
+			rTotal += r[i]
+		}
+		x = float64(k) / rTotal
+		for i := range stations {
+			q[i] = x * r[i]
+		}
+	}
+	res := MVAResult{
+		Throughput:   x,
+		Utilization:  make([]float64, len(stations)),
+		QueueLengths: q,
+	}
+	for i, s := range stations {
+		res.ResponseUS += q[i] / x
+		if !s.Delay {
+			res.Utilization[i] = x * s.Demand
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,282 @@
+// Package consultant is a working miniature of Paradyn's Performance
+// Consultant, the consumer that motivates the instrumentation system the
+// paper models: the main Paradyn process runs the W3 search ("why is the
+// program slow, where, and when" — Hollingsworth, Miller & Cargille,
+// SHPCC '94) over the periodically forwarded instrumentation data.
+//
+// The miniature implements the why and where axes: global hypotheses
+// (CPU-bound, communication-bound, synchronization-bound) are tested
+// against thresholded metric streams; a hypothesis that holds for a
+// window of consecutive intervals is confirmed and refined to per-node
+// hypotheses, whose confirmations are the search's findings. It consumes
+// exactly the kind of sampled, batched metric stream whose collection
+// cost the ROCC model quantifies.
+package consultant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Why is the hypothesis axis: the candidate reasons a program is slow.
+type Why int
+
+const (
+	// CPUBound: CPU utilization persistently above threshold.
+	CPUBound Why = iota
+	// CommBound: network/bus occupancy persistently above threshold.
+	CommBound
+	// SyncBound: time blocked (pipes, barriers) above threshold.
+	SyncBound
+)
+
+// String implements fmt.Stringer.
+func (w Why) String() string {
+	switch w {
+	case CPUBound:
+		return "CPUBound"
+	case CommBound:
+		return "CommunicationBound"
+	case SyncBound:
+		return "SynchronizationBound"
+	}
+	return fmt.Sprintf("Why(%d)", int(w))
+}
+
+// WholeProgram is the root focus of the where axis.
+const WholeProgram = -1
+
+// Hypothesis is one (why, where) node of the search.
+type Hypothesis struct {
+	Why Why
+	// Node is a node index, or WholeProgram.
+	Node int
+}
+
+// String implements fmt.Stringer.
+func (h Hypothesis) String() string {
+	if h.Node == WholeProgram {
+		return h.Why.String() + "@WholeProgram"
+	}
+	return fmt.Sprintf("%s@node%d", h.Why, h.Node)
+}
+
+// Observation is one interval's metrics for one node, each a fraction in
+// [0, 1].
+type Observation struct {
+	Node        int
+	CPUUtil     float64
+	NetUtil     float64
+	BlockedFrac float64
+}
+
+func (o Observation) metric(w Why) float64 {
+	switch w {
+	case CPUBound:
+		return o.CPUUtil
+	case CommBound:
+		return o.NetUtil
+	default:
+		return o.BlockedFrac
+	}
+}
+
+// Config parameterizes the search.
+type Config struct {
+	// Nodes is the number of nodes in the where axis.
+	Nodes int
+	// Thresholds per hypothesis type; a metric above its threshold counts
+	// as an exceedance. Missing entries default to 0.85 (CPU), 0.5 (comm),
+	// and 0.2 (sync) — the flavor of Paradyn's default hypothesis
+	// thresholds.
+	Thresholds map[Why]float64
+	// Window is the number of consecutive exceedances needed to confirm a
+	// hypothesis (default 3).
+	Window int
+}
+
+func (c Config) threshold(w Why) float64 {
+	if t, ok := c.Thresholds[w]; ok {
+		return t
+	}
+	switch w {
+	case CPUBound:
+		return 0.85
+	case CommBound:
+		return 0.5
+	default:
+		return 0.2
+	}
+}
+
+// Finding is a confirmed hypothesis.
+type Finding struct {
+	Hypothesis Hypothesis
+	// MeanValue is the mean of the metric over its confirming window.
+	MeanValue float64
+	// ConfirmedAt is the ingest interval index at which it confirmed.
+	ConfirmedAt int
+}
+
+// Phase is one maximal run of intervals during which a confirmed
+// hypothesis held — the "when" axis of the W3 search. End is inclusive;
+// an ongoing phase has End = -1 until it closes.
+type Phase struct {
+	Start, End int
+}
+
+type testState struct {
+	hyp       Hypothesis
+	consec    int
+	windowSum float64
+	confirmed bool
+	refined   bool
+
+	phases     []Phase
+	inPhase    bool
+	phaseStart int
+}
+
+// Consultant runs the search. Not safe for concurrent use.
+type Consultant struct {
+	cfg      Config
+	active   []*testState
+	findings []Finding
+	interval int
+}
+
+// New creates a consultant with the three root hypotheses active.
+func New(cfg Config) (*Consultant, error) {
+	if cfg.Nodes < 1 {
+		return nil, errors.New("consultant: Nodes must be >= 1")
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 3
+	}
+	c := &Consultant{cfg: cfg}
+	for _, w := range []Why{CPUBound, CommBound, SyncBound} {
+		c.active = append(c.active, &testState{hyp: Hypothesis{Why: w, Node: WholeProgram}})
+	}
+	return c, nil
+}
+
+// Ingest feeds one interval of per-node observations and advances the
+// search. Nodes missing from obs contribute zeros.
+func (c *Consultant) Ingest(obs []Observation) {
+	byNode := map[int]Observation{}
+	for _, o := range obs {
+		byNode[o.Node] = o
+	}
+	// Global means for root hypotheses.
+	global := Observation{Node: WholeProgram}
+	for i := 0; i < c.cfg.Nodes; i++ {
+		o := byNode[i]
+		global.CPUUtil += o.CPUUtil / float64(c.cfg.Nodes)
+		global.NetUtil += o.NetUtil / float64(c.cfg.Nodes)
+		global.BlockedFrac += o.BlockedFrac / float64(c.cfg.Nodes)
+	}
+
+	var refinements []*testState
+	for _, st := range c.active {
+		var value float64
+		if st.hyp.Node == WholeProgram {
+			value = global.metric(st.hyp.Why)
+		} else {
+			value = byNode[st.hyp.Node].metric(st.hyp.Why)
+		}
+		exceeds := value > c.cfg.threshold(st.hyp.Why)
+
+		if st.confirmed {
+			// When-axis: track the phases over which the confirmed
+			// hypothesis continues to hold.
+			switch {
+			case exceeds && !st.inPhase:
+				st.inPhase = true
+				st.phaseStart = c.interval
+			case !exceeds && st.inPhase:
+				st.inPhase = false
+				st.phases = append(st.phases, Phase{Start: st.phaseStart, End: c.interval - 1})
+			}
+			continue
+		}
+		if exceeds {
+			st.consec++
+			st.windowSum += value
+			if st.consec >= c.cfg.Window {
+				st.confirmed = true
+				st.inPhase = true
+				st.phaseStart = c.interval - c.cfg.Window + 1
+				c.findings = append(c.findings, Finding{
+					Hypothesis:  st.hyp,
+					MeanValue:   st.windowSum / float64(st.consec),
+					ConfirmedAt: c.interval,
+				})
+				// Where-axis refinement: a confirmed global hypothesis
+				// spawns per-node tests.
+				if st.hyp.Node == WholeProgram && !st.refined && c.cfg.Nodes > 1 {
+					st.refined = true
+					for n := 0; n < c.cfg.Nodes; n++ {
+						refinements = append(refinements, &testState{
+							hyp: Hypothesis{Why: st.hyp.Why, Node: n},
+						})
+					}
+				}
+			}
+		} else {
+			st.consec = 0
+			st.windowSum = 0
+		}
+	}
+	c.active = append(c.active, refinements...)
+	c.interval++
+}
+
+// Phases returns the when-axis phases of a confirmed hypothesis: the
+// interval ranges during which it held. A still-open phase is reported
+// with End = -1.
+func (c *Consultant) Phases(h Hypothesis) []Phase {
+	for _, st := range c.active {
+		if st.hyp != h || !st.confirmed {
+			continue
+		}
+		out := append([]Phase(nil), st.phases...)
+		if st.inPhase {
+			out = append(out, Phase{Start: st.phaseStart, End: -1})
+		}
+		return out
+	}
+	return nil
+}
+
+// Findings returns the confirmed hypotheses in confirmation order.
+func (c *Consultant) Findings() []Finding {
+	out := append([]Finding(nil), c.findings...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ConfirmedAt < out[j].ConfirmedAt })
+	return out
+}
+
+// NodeFindings returns only the refined (per-node) findings — the leaves
+// the W3 search reports to the user.
+func (c *Consultant) NodeFindings() []Finding {
+	var out []Finding
+	for _, f := range c.Findings() {
+		if f.Hypothesis.Node != WholeProgram {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ActiveTests returns the number of hypotheses currently under test —
+// proportional to the instrumentation the IS must deliver, the link to
+// the data-collection costs the paper models.
+func (c *Consultant) ActiveTests() int {
+	n := 0
+	for _, st := range c.active {
+		if !st.confirmed {
+			n++
+		}
+	}
+	return n
+}

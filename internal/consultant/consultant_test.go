@@ -1,0 +1,194 @@
+package consultant
+
+import (
+	"testing"
+)
+
+func obsAllNodes(nodes int, cpu, net, blocked float64) []Observation {
+	out := make([]Observation, nodes)
+	for i := range out {
+		out[i] = Observation{Node: i, CPUUtil: cpu, NetUtil: net, BlockedFrac: blocked}
+	}
+	return out
+}
+
+func TestConfirmsCPUBoundAndRefines(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is hot; others moderate. Global mean = (0.6*3+1.0)/4 = 0.7 <
+	// 0.85 threshold... make all nodes hot enough for a global finding.
+	for i := 0; i < 3; i++ {
+		obs := obsAllNodes(4, 0.90, 0.1, 0.05)
+		obs[2].CPUUtil = 0.99
+		c.Ingest(obs)
+	}
+	fs := c.Findings()
+	if len(fs) != 1 || fs[0].Hypothesis.Why != CPUBound || fs[0].Hypothesis.Node != WholeProgram {
+		t.Fatalf("findings %v", fs)
+	}
+	if fs[0].MeanValue < 0.9 {
+		t.Fatalf("evidence mean %v", fs[0].MeanValue)
+	}
+	// Refinement spawned per-node tests; three more hot intervals confirm
+	// all four nodes (all are above threshold).
+	for i := 0; i < 3; i++ {
+		c.Ingest(obsAllNodes(4, 0.95, 0.1, 0.05))
+	}
+	nodeFs := c.NodeFindings()
+	if len(nodeFs) != 4 {
+		t.Fatalf("node findings %v", nodeFs)
+	}
+}
+
+func TestWhereAxisIsolatesHotNode(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Window: 2, Thresholds: map[Why]float64{CPUBound: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global mean 0.55 > 0.5 confirms the root; only node 0 (0.97)
+	// confirms on refinement.
+	hot := func() []Observation {
+		obs := obsAllNodes(4, 0.41, 0, 0)
+		obs[0].CPUUtil = 0.97
+		return obs
+	}
+	for i := 0; i < 5; i++ {
+		c.Ingest(hot())
+	}
+	nodeFs := c.NodeFindings()
+	if len(nodeFs) != 1 || nodeFs[0].Hypothesis.Node != 0 {
+		t.Fatalf("expected node 0 isolated, got %v", nodeFs)
+	}
+}
+
+func TestConsecutiveWindowResetsOnDip(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := obsAllNodes(1, 0.99, 0, 0)
+	cold := obsAllNodes(1, 0.1, 0, 0)
+	c.Ingest(hot)
+	c.Ingest(hot)
+	c.Ingest(cold) // resets the streak
+	c.Ingest(hot)
+	c.Ingest(hot)
+	if len(c.Findings()) != 0 {
+		t.Fatal("non-consecutive exceedances must not confirm")
+	}
+	c.Ingest(hot)
+	if len(c.Findings()) != 1 {
+		t.Fatal("third consecutive exceedance should confirm")
+	}
+}
+
+func TestDistinctWhyAxes(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync-bound workload: high blocked fraction, low CPU/net.
+	for i := 0; i < 2; i++ {
+		c.Ingest(obsAllNodes(2, 0.3, 0.1, 0.6))
+	}
+	fs := c.Findings()
+	if len(fs) != 1 || fs[0].Hypothesis.Why != SyncBound {
+		t.Fatalf("findings %v", fs)
+	}
+	// Comm-bound next: bus saturated.
+	for i := 0; i < 2; i++ {
+		c.Ingest(obsAllNodes(2, 0.3, 0.95, 0.6))
+	}
+	found := map[Why]bool{}
+	for _, f := range c.Findings() {
+		if f.Hypothesis.Node == WholeProgram {
+			found[f.Hypothesis.Why] = true
+		}
+	}
+	if !found[SyncBound] || !found[CommBound] {
+		t.Fatalf("whys found: %v", found)
+	}
+	if found[CPUBound] {
+		t.Fatal("CPU-bound should not confirm")
+	}
+}
+
+func TestActiveTestsGrowWithRefinement(t *testing.T) {
+	c, err := New(Config{Nodes: 8, Window: 1, Thresholds: map[Why]float64{CPUBound: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.ActiveTests()
+	if before != 3 {
+		t.Fatalf("root tests %d", before)
+	}
+	c.Ingest(obsAllNodes(8, 0.9, 0, 0))
+	// CPU root confirmed (removed) and 8 node tests spawned: 2 + 8.
+	if got := c.ActiveTests(); got != 10 {
+		t.Fatalf("active tests %d, want 10", got)
+	}
+}
+
+func TestMissingNodesTreatedAsIdle(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one node reports; global mean diluted below thresholds.
+	c.Ingest([]Observation{{Node: 0, CPUUtil: 0.99}})
+	if len(c.Findings()) != 0 {
+		t.Fatal("diluted global metric must not confirm")
+	}
+}
+
+func TestWhenAxisPhases(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := obsAllNodes(1, 0.95, 0, 0)
+	cold := obsAllNodes(1, 0.1, 0, 0)
+	// Intervals: hot hot (confirm at 1) hot cold cold hot hot.
+	for _, o := range [][]Observation{hot, hot, hot, cold, cold, hot, hot} {
+		c.Ingest(o)
+	}
+	h := Hypothesis{Why: CPUBound, Node: WholeProgram}
+	phases := c.Phases(h)
+	// Phase 1: intervals 0-2 (confirmation backdates to the window start);
+	// phase 2: intervals 5.. still open.
+	if len(phases) != 2 {
+		t.Fatalf("phases %v", phases)
+	}
+	if phases[0].Start != 0 || phases[0].End != 2 {
+		t.Fatalf("first phase %v", phases[0])
+	}
+	if phases[1].Start != 5 || phases[1].End != -1 {
+		t.Fatalf("second phase %v", phases[1])
+	}
+	// Unconfirmed or unknown hypotheses have no phases.
+	if c.Phases(Hypothesis{Why: CommBound, Node: WholeProgram}) != nil {
+		t.Fatal("unconfirmed hypothesis should have no phases")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if CPUBound.String() == "" || Why(9).String() == "" {
+		t.Fatal("why strings")
+	}
+	h := Hypothesis{Why: CommBound, Node: WholeProgram}
+	if h.String() != "CommunicationBound@WholeProgram" {
+		t.Fatalf("%s", h)
+	}
+	h2 := Hypothesis{Why: SyncBound, Node: 3}
+	if h2.String() != "SynchronizationBound@node3" {
+		t.Fatalf("%s", h2)
+	}
+}

@@ -1,0 +1,103 @@
+package consultant
+
+import (
+	"errors"
+
+	"rocc/internal/core"
+)
+
+// SearchResult is the outcome of a consultant run over a live simulation.
+type SearchResult struct {
+	Findings     []Finding
+	NodeFindings []Finding
+	Intervals    int
+	// PeakActiveTests is the largest number of simultaneous hypothesis
+	// tests — a proxy for the instrumentation demand the IS must carry.
+	PeakActiveTests int
+}
+
+// Search runs the ROCC simulation in control intervals and feeds per-node
+// metric observations to the Performance Consultant, returning the
+// confirmed bottleneck hypotheses. This closes the loop the paper's
+// introduction describes: "the Paradyn IS supports the W3 search algorithm
+// ... by periodically providing instrumentation data to the main Paradyn
+// process."
+func Search(simCfg core.Config, cCfg Config, intervalUS float64, intervals int) (SearchResult, error) {
+	if intervalUS <= 0 || intervals < 1 {
+		return SearchResult{}, errors.New("consultant: need positive interval and count")
+	}
+	m, err := core.New(simCfg)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if cCfg.Nodes == 0 {
+		cCfg.Nodes = len(m.NodeCPUs)
+	}
+	cons, err := New(cCfg)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	m.Start()
+
+	nodes := len(m.NodeCPUs)
+	prevCPU := make([]float64, nodes)
+	prevNet := 0.0
+	var res SearchResult
+	for i := 0; i < intervals; i++ {
+		m.Sim.Run(intervalUS * float64(i+1))
+		netBusy := m.Net.BusyTotal()
+		netUtil := (netBusy - prevNet) / intervalUS
+		prevNet = netBusy
+		if netUtil > 1 {
+			netUtil = 1 // contention-free networks can exceed channel time
+		}
+
+		obs := make([]Observation, nodes)
+		for n := 0; n < nodes; n++ {
+			busy := m.NodeCPUs[n].BusyTotal()
+			cpuUtil := (busy - prevCPU[n]) / intervalUS
+			prevCPU[n] = busy
+			if cores := float64(coresOf(m, n)); cores > 1 {
+				cpuUtil /= cores
+			}
+			obs[n] = Observation{Node: n, CPUUtil: cpuUtil, NetUtil: netUtil}
+		}
+		// Sync metric: fraction of application processes blocked on pipes
+		// or waiting at the barrier, observed at the interval boundary.
+		blockedPerNode := make([]int, nodes)
+		appsPerNode := make([]int, nodes)
+		for _, a := range m.Apps {
+			node := a.Node
+			if node >= nodes {
+				node = 0
+			}
+			appsPerNode[node]++
+			if a.Blocked() || a.AtBarrier() {
+				blockedPerNode[node]++
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			if appsPerNode[n] > 0 {
+				obs[n].BlockedFrac = float64(blockedPerNode[n]) / float64(appsPerNode[n])
+			}
+		}
+		cons.Ingest(obs)
+		if at := cons.ActiveTests(); at > res.PeakActiveTests {
+			res.PeakActiveTests = at
+		}
+	}
+	res.Findings = cons.Findings()
+	res.NodeFindings = cons.NodeFindings()
+	res.Intervals = intervals
+	return res, nil
+}
+
+// coresOf returns the core count of node n's CPU (the SMP pool reports
+// its full width through the model config).
+func coresOf(m *core.Model, n int) int {
+	if m.Cfg.Arch == core.SMP {
+		return m.Cfg.Nodes
+	}
+	_ = n
+	return 1
+}

@@ -1,0 +1,123 @@
+package consultant
+
+import (
+	"testing"
+
+	"rocc/internal/core"
+)
+
+func TestSearchFindsCPUBoundWorkload(t *testing.T) {
+	// Compute-intensive NOW: application keeps the CPU busy.
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Workload = core.ComputeIntensive.Apply(core.DefaultWorkload())
+	res, err := Search(cfg, Config{Window: 3, Thresholds: map[Why]float64{CPUBound: 0.8}},
+		1e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCPU := false
+	for _, f := range res.Findings {
+		if f.Hypothesis.Why == CPUBound && f.Hypothesis.Node == WholeProgram {
+			foundCPU = true
+		}
+	}
+	if !foundCPU {
+		t.Fatalf("CPU-bound not confirmed; findings: %v", res.Findings)
+	}
+	// Refinement should identify individual nodes too.
+	if len(res.NodeFindings) == 0 {
+		t.Fatal("no node-level findings after refinement")
+	}
+	if res.PeakActiveTests <= 3 {
+		t.Fatalf("refinement should grow active tests: %d", res.PeakActiveTests)
+	}
+}
+
+func TestSearchFindsCommBoundSMP(t *testing.T) {
+	// Bus-saturated SMP (§4.3.3): communication-bound, not CPU-bound.
+	cfg := core.DefaultConfig()
+	cfg.Arch = core.SMP
+	cfg.Nodes = 32
+	cfg.AppProcs = 32
+	cfg.Workload = core.CommIntensive.Apply(core.DefaultWorkload())
+	res, err := Search(cfg, Config{Nodes: 1, Window: 3}, 1e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[Why]bool{}
+	for _, f := range res.Findings {
+		found[f.Hypothesis.Why] = true
+	}
+	if !found[CommBound] {
+		t.Fatalf("comm-bound not confirmed; findings %v", res.Findings)
+	}
+	if found[CPUBound] {
+		t.Fatal("saturated-bus workload must not be CPU-bound")
+	}
+}
+
+func TestWhenAxisOnPhasedSimulation(t *testing.T) {
+	// Workload alternates between compute-heavy and idle-ish
+	// (communication-dominated) every 4 seconds: the confirmed CPU-bound
+	// hypothesis should hold in phases, not continuously.
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Workload = core.ComputeIntensive.Apply(core.DefaultWorkload())
+	alt := core.DefaultWorkload()
+	alt.AppNet = alt.AppCPU // long "network" bursts idle the CPU heavily
+	alt.AppCPU = alt.PvmCPU // short compute bursts
+	cfg.PhasePeriod = 4e6
+	cfg.PhaseWorkload = &alt
+
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := New(Config{Nodes: 2, Window: 2, Thresholds: map[Why]float64{CPUBound: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	prev := make([]float64, 2)
+	const intervalUS = 1e6
+	for i := 0; i < 16; i++ {
+		m.Sim.Run(intervalUS * float64(i+1))
+		obs := make([]Observation, 2)
+		for n := 0; n < 2; n++ {
+			busy := m.NodeCPUs[n].BusyTotal()
+			obs[n] = Observation{Node: n, CPUUtil: (busy - prev[n]) / intervalUS}
+			prev[n] = busy
+		}
+		cons.Ingest(obs)
+	}
+	h := Hypothesis{Why: CPUBound, Node: WholeProgram}
+	phases := cons.Phases(h)
+	if len(phases) < 2 {
+		t.Fatalf("phased workload should yield multiple when-axis phases, got %v", phases)
+	}
+	// Each closed phase should be roughly the 4-interval compute phase.
+	for _, p := range phases {
+		if p.End == -1 {
+			continue
+		}
+		if width := p.End - p.Start + 1; width > 6 {
+			t.Fatalf("phase %v too wide for a 4-interval workload phase", p)
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if _, err := Search(cfg, Config{}, 0, 3); err == nil {
+		t.Fatal("zero interval")
+	}
+	if _, err := Search(cfg, Config{}, 1e6, 0); err == nil {
+		t.Fatal("zero intervals")
+	}
+	bad := cfg
+	bad.Nodes = 0
+	if _, err := Search(bad, Config{}, 1e6, 1); err == nil {
+		t.Fatal("bad sim config")
+	}
+}

@@ -1,0 +1,358 @@
+// Package core assembles and runs the ROCC (Resource OCCupancy) model of
+// the Paradyn instrumentation system — the paper's primary contribution.
+// A Config selects the architecture (NOW, SMP, or MPP), the instrumentation
+// workload factors of the 2^k·r experiments (number of nodes, sampling
+// period, forwarding policy and batch size, application type, forwarding
+// configuration), and the Table 2 workload parameterization. Model.Run
+// executes the discrete-event simulation and reports the paper's metrics:
+// direct IS overhead, monitoring latency, data-forwarding throughput, and
+// per-class CPU and network utilizations.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rocc/internal/forward"
+	"rocc/internal/rng"
+)
+
+// Arch selects the system architecture being modeled.
+type Arch int
+
+const (
+	// NOW is a network of workstations: one CPU per node, shared network.
+	NOW Arch = iota
+	// SMP is a shared-memory multiprocessor: all processes share one pool
+	// of CPUs and a bus.
+	SMP
+	// MPP is a massively parallel processor: one CPU per node and a
+	// high-speed, contention-free interconnect (§4.4).
+	MPP
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	switch a {
+	case NOW:
+		return "NOW"
+	case SMP:
+		return "SMP"
+	case MPP:
+		return "MPP"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// Contention selects the network service discipline.
+type Contention int
+
+const (
+	// ContentionAuto uses the architecture default: a contended bus for
+	// SMP, contention-free otherwise (the figure-18/19 and §4.4 settings).
+	ContentionAuto Contention = iota
+	// ContentionOn forces a single contended channel.
+	ContentionOn
+	// ContentionOff forces contention-free transfers.
+	ContentionOff
+)
+
+// Workload holds the stochastic workload parameterization of the ROCC
+// model (Table 2); all times are microseconds.
+type Workload struct {
+	AppCPU rng.Dist // application Computation burst
+	AppNet rng.Dist // application Communication burst
+
+	PvmCPU          rng.Dist
+	PvmNet          rng.Dist
+	PvmInterarrival rng.Dist
+
+	OtherCPU             rng.Dist
+	OtherNet             rng.Dist
+	OtherCPUInterarrival rng.Dist
+	OtherNetInterarrival rng.Dist
+
+	MainCPU rng.Dist // main Paradyn process per-message demand
+}
+
+// DefaultWorkload returns the Table 2 parameterization fitted from AIX
+// traces of the NAS pvmbt benchmark on an IBM SP-2.
+func DefaultWorkload() Workload {
+	return Workload{
+		AppCPU:               rng.Lognormal{MeanVal: 2213, SD: 3034},
+		AppNet:               rng.Exponential{MeanVal: 223},
+		PvmCPU:               rng.Lognormal{MeanVal: 294, SD: 206},
+		PvmNet:               rng.Exponential{MeanVal: 58},
+		PvmInterarrival:      rng.Exponential{MeanVal: 6485},
+		OtherCPU:             rng.Lognormal{MeanVal: 367, SD: 819},
+		OtherNet:             rng.Exponential{MeanVal: 92},
+		OtherCPUInterarrival: rng.Exponential{MeanVal: 31485},
+		OtherNetInterarrival: rng.Exponential{MeanVal: 5598903},
+		MainCPU:              rng.Lognormal{MeanVal: 3208, SD: 3287},
+	}
+}
+
+// AppType is the application-type factor of the 2^k experiments (§4.2.1):
+// it sets the application's network occupancy requirement.
+type AppType int
+
+const (
+	// ComputeIntensive sets the application network occupancy to 200 us.
+	ComputeIntensive AppType = iota
+	// CommIntensive sets it to 2000 us.
+	CommIntensive
+)
+
+// String implements fmt.Stringer.
+func (a AppType) String() string {
+	if a == CommIntensive {
+		return "communication-intensive"
+	}
+	return "compute-intensive"
+}
+
+// Apply returns a copy of w with the application network demand set per
+// the application type.
+func (a AppType) Apply(w Workload) Workload {
+	switch a {
+	case ComputeIntensive:
+		w.AppNet = rng.Exponential{MeanVal: 200}
+	case CommIntensive:
+		w.AppNet = rng.Exponential{MeanVal: 2000}
+	}
+	return w
+}
+
+// Config describes one simulation scenario.
+type Config struct {
+	Arch Arch
+
+	// Nodes is the number of system nodes; for SMP it is the number of
+	// CPUs in the shared-memory machine.
+	Nodes int
+
+	// AppProcs is the number of application processes per node for
+	// NOW/MPP, and the total number of application processes for SMP.
+	AppProcs int
+
+	// Pds is the number of Paradyn daemons: per node for NOW/MPP
+	// (typically 1), total for SMP (the §4.3 multiple-daemon factor).
+	Pds int
+
+	// SamplingPeriod is the instrumentation sampling interval in
+	// microseconds; zero runs the uninstrumented baseline.
+	SamplingPeriod float64
+
+	// Policy and BatchSize select CF or BF forwarding; CF forces an
+	// effective batch of one.
+	Policy    forward.Policy
+	BatchSize int
+
+	// Forwarding selects direct or binary-tree forwarding (MPP).
+	Forwarding forward.Config
+
+	// Network selects the interconnect contention discipline.
+	Network Contention
+
+	// PipeCapacity is the per-pipe sample buffer size (default 256).
+	PipeCapacity int
+
+	// Quantum is the CPU scheduling quantum in microseconds (Table 2:
+	// 10,000).
+	Quantum float64
+
+	// Duration is the simulated run length in microseconds (measured
+	// portion, excluding warmup).
+	Duration float64
+
+	// Warmup, when positive, simulates this many microseconds before
+	// metric collection starts, discarding the initial transient
+	// (standard steady-state methodology, Law & Kelton §9).
+	Warmup float64
+
+	// BarrierPeriod, when positive, makes application processes
+	// synchronize at a global barrier every BarrierPeriod microseconds of
+	// completed work (the Figure 28 factor).
+	BarrierPeriod float64
+
+	// FlushTimeout, when positive, lets BF forward partial batches after
+	// this many microseconds (zero = pure count-based batching).
+	FlushTimeout float64
+
+	// PhasePeriod, when positive, alternates the application workload
+	// between Workload and PhaseWorkload every PhasePeriod microseconds —
+	// a phased application whose behavior changes over time, the target
+	// of the W3 search's "when" axis.
+	PhasePeriod   float64
+	PhaseWorkload *Workload
+
+	// EventTrace switches the instrumentation from periodic sampling to
+	// event tracing: one sample per application Communication event (the
+	// "occurrence of an event of interest" path of the Figure 6 model).
+	// SamplingPeriod may still be set to combine both.
+	EventTrace bool
+
+	// Detailed enables the full Figure 6 process-behavior model on top of
+	// the simplified two-state model: probabilistic I/O blocking and
+	// periodic process forking.
+	Detailed DetailedModel
+
+	// MainThreads enables the main Paradyn process's sibling threads
+	// (§2: "the main Paradyn process ... is implemented as a multithreaded
+	// process"): beyond the Data Manager work charged per received
+	// message, the Performance Consultant and User Interface Manager
+	// periodically occupy the host CPU.
+	MainThreads MainThreadModel
+
+	// DedicatedHost places the main Paradyn process on its own host
+	// workstation CPU (Figure 1); otherwise it shares node 0's CPU (for
+	// SMP it always shares the CPU pool).
+	DedicatedHost bool
+
+	// Background enables the PVM daemon and other user/system processes.
+	Background bool
+
+	Seed     uint64
+	Workload Workload
+	Cost     forward.CostModel
+}
+
+// MainThreadModel parameterizes the Performance Consultant and User
+// Interface Manager threads of the main Paradyn process. Zero values
+// disable a thread.
+type MainThreadModel struct {
+	// ConsultantPeriod and ConsultantCPU: every period, the Performance
+	// Consultant evaluates its hypotheses (W3 search step).
+	ConsultantPeriod float64
+	ConsultantCPU    rng.Dist
+	// UIPeriod and UICPU: periodic display refresh work.
+	UIPeriod float64
+	UICPU    rng.Dist
+}
+
+func (m MainThreadModel) enabled() bool {
+	return m.ConsultantPeriod > 0 || m.UIPeriod > 0
+}
+
+// DetailedModel parameterizes the Figure 6 extensions to the process
+// model. The zero value disables them (the paper's simplified model).
+type DetailedModel struct {
+	// IOProb is the per-iteration probability of entering the Blocked
+	// (I/O wait) state.
+	IOProb float64
+	// IOBlock is the blocked-duration distribution; defaults to
+	// exponential(5000) when IOProb > 0 and IOBlock is nil.
+	IOBlock rng.Dist
+	// SpawnPeriod, when positive, forks a new application process every
+	// SpawnPeriod microseconds of completed work per process.
+	SpawnPeriod float64
+	// MaxProcsPerNode caps node population growth from forking
+	// (default 8).
+	MaxProcsPerNode int
+}
+
+// enabled reports whether any detailed-model feature is active.
+func (d DetailedModel) enabled() bool { return d.IOProb > 0 || d.SpawnPeriod > 0 }
+
+// DefaultConfig returns the "typical" configuration of Table 2: 8 nodes,
+// 1 application process and 1 daemon per node, 40 ms sampling, CF policy,
+// direct forwarding, 100-second run.
+func DefaultConfig() Config {
+	return Config{
+		Arch:           NOW,
+		Nodes:          8,
+		AppProcs:       1,
+		Pds:            1,
+		SamplingPeriod: 40000,
+		Policy:         forward.CF,
+		BatchSize:      1,
+		Forwarding:     forward.Direct,
+		PipeCapacity:   256,
+		Quantum:        10000,
+		Duration:       100e6,
+		DedicatedHost:  true,
+		Background:     true,
+		Seed:           1,
+		Workload:       DefaultWorkload(),
+		Cost:           forward.DefaultCostModel(),
+	}
+}
+
+// Validate checks the configuration and applies defaults for zero-valued
+// optional fields, returning the normalized configuration.
+func (c Config) Validate() (Config, error) {
+	if c.Nodes < 1 {
+		return c, errors.New("core: Nodes must be >= 1")
+	}
+	if c.AppProcs < 1 {
+		return c, errors.New("core: AppProcs must be >= 1")
+	}
+	if c.Pds < 1 {
+		c.Pds = 1
+	}
+	if c.Arch == SMP && c.Pds > c.AppProcs {
+		return c, errors.New("core: SMP daemons exceed application processes")
+	}
+	if c.SamplingPeriod < 0 {
+		return c, errors.New("core: SamplingPeriod must be >= 0")
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("core: Duration must be positive")
+	}
+	if c.Warmup < 0 {
+		return c, errors.New("core: Warmup must be >= 0")
+	}
+	if c.PipeCapacity <= 0 {
+		c.PipeCapacity = 256
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 10000
+	}
+	if c.Policy == forward.CF {
+		c.BatchSize = 1
+	} else if c.BatchSize < 1 {
+		return c, errors.New("core: BF policy needs BatchSize >= 1")
+	}
+	if c.Workload == (Workload{}) {
+		c.Workload = DefaultWorkload()
+	}
+	if c.Cost == (forward.CostModel{}) {
+		c.Cost = forward.DefaultCostModel()
+	}
+	if c.Forwarding == forward.Tree && c.Arch != MPP {
+		return c, errors.New("core: tree forwarding is modeled for MPP only")
+	}
+	if c.Detailed.IOProb < 0 || c.Detailed.IOProb > 1 {
+		return c, errors.New("core: Detailed.IOProb must be in [0,1]")
+	}
+	if c.Detailed.IOProb > 0 && c.Detailed.IOBlock == nil {
+		c.Detailed.IOBlock = rng.Exponential{MeanVal: 5000}
+	}
+	if c.Detailed.SpawnPeriod > 0 && c.Detailed.MaxProcsPerNode <= 0 {
+		c.Detailed.MaxProcsPerNode = 8
+	}
+	if c.PhasePeriod < 0 {
+		return c, errors.New("core: PhasePeriod must be >= 0")
+	}
+	if c.PhasePeriod > 0 && c.PhaseWorkload == nil {
+		return c, errors.New("core: PhasePeriod needs a PhaseWorkload")
+	}
+	if c.MainThreads.ConsultantPeriod > 0 && c.MainThreads.ConsultantCPU == nil {
+		c.MainThreads.ConsultantCPU = rng.Lognormal{MeanVal: 3208, SD: 3287}
+	}
+	if c.MainThreads.UIPeriod > 0 && c.MainThreads.UICPU == nil {
+		c.MainThreads.UICPU = rng.Exponential{MeanVal: 2000}
+	}
+	return c, nil
+}
+
+// contended resolves the network discipline for the architecture.
+func (c Config) contended() bool {
+	switch c.Network {
+	case ContentionOn:
+		return true
+	case ContentionOff:
+		return false
+	}
+	return c.Arch == SMP
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"rocc/internal/stats"
+)
+
+// Replicated holds the results of r independent replications of one
+// scenario (the paper uses r=50 with 90% confidence intervals).
+type Replicated struct {
+	Results []Result
+}
+
+// RunReplications runs reps independent replications of cfg, varying only
+// the random seed (derived deterministically from cfg.Seed).
+func RunReplications(cfg Config, reps int) (Replicated, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := Replicated{Results: make([]Result, 0, reps)}
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed*1_000_003 + uint64(i)
+		m, err := New(c)
+		if err != nil {
+			return Replicated{}, err
+		}
+		out.Results = append(out.Results, m.Run())
+	}
+	return out, nil
+}
+
+// Metric extracts one scalar from a Result.
+type Metric func(Result) float64
+
+// Named metric extractors for the experiment harness.
+var (
+	MetricPdCPUTime    Metric = func(r Result) float64 { return r.PdCPUTimePerNodeSec }
+	MetricPdCPUUtil    Metric = func(r Result) float64 { return r.PdCPUUtilPct }
+	MetricISCPUUtil    Metric = func(r Result) float64 { return r.ISCPUUtilPct }
+	MetricMainCPUUtil  Metric = func(r Result) float64 { return r.MainCPUUtilPct }
+	MetricMainCPUTime  Metric = func(r Result) float64 { return r.MainCPUTimeSec }
+	MetricAppCPUUtil   Metric = func(r Result) float64 { return r.AppCPUUtilPct }
+	MetricAppCPUTime   Metric = func(r Result) float64 { return r.AppCPUTimePerNodeSec }
+	MetricLatency      Metric = func(r Result) float64 { return r.MonitoringLatencySec }
+	MetricLatencyP95   Metric = func(r Result) float64 { return r.MonitoringLatencyP95Sec }
+	MetricLatencyMax   Metric = func(r Result) float64 { return r.MonitoringLatencyMaxSec }
+	MetricFwdLatency   Metric = func(r Result) float64 { return r.ForwardLatencySec }
+	MetricThroughput   Metric = func(r Result) float64 { return r.ThroughputPerSec }
+	MetricPdThroughput Metric = func(r Result) float64 { return r.PdThroughputPerSec }
+	MetricNetUtil      Metric = func(r Result) float64 { return r.NetUtilPct }
+	MetricBlockedPuts  Metric = func(r Result) float64 { return float64(r.BlockedPuts) }
+	MetricSamplesRecvd Metric = func(r Result) float64 { return float64(r.SamplesReceived) }
+)
+
+// Mean returns the replication mean of a metric.
+func (rep Replicated) Mean(m Metric) float64 {
+	vals := rep.values(m)
+	return stats.MeanOf(vals)
+}
+
+// CI returns the Student-t confidence interval of a metric at the given
+// level (e.g. 0.90). With a single replication the half-width is zero.
+func (rep Replicated) CI(m Metric, level float64) stats.ConfidenceInterval {
+	vals := rep.values(m)
+	if len(vals) < 2 {
+		mean := stats.MeanOf(vals)
+		return stats.ConfidenceInterval{Mean: mean, Level: level}
+	}
+	ci, err := stats.MeanCI(vals, level)
+	if err != nil {
+		return stats.ConfidenceInterval{Mean: stats.MeanOf(vals), Level: level}
+	}
+	return ci
+}
+
+func (rep Replicated) values(m Metric) []float64 {
+	vals := make([]float64, len(rep.Results))
+	for i, r := range rep.Results {
+		vals[i] = m(r)
+	}
+	return vals
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"rocc/internal/procs"
+)
+
+// Result holds the metrics of one simulation run. Utilizations are
+// percentages; times are seconds; latencies are seconds per sample.
+// These are the quantities plotted in Figures 17-28 and tabulated in
+// Tables 4-6 of the paper.
+type Result struct {
+	DurationSec float64
+
+	// Direct IS overhead (local and global detail, §2.1 Metrics).
+	PdCPUTimePerNodeSec float64 // daemon CPU time averaged over nodes
+	PdCPUUtilPct        float64 // daemon CPU utilization per node
+	MainCPUTimeSec      float64 // main Paradyn process CPU time
+	MainCPUUtilPct      float64 // utilization of the CPU hosting main
+	ISCPUUtilPct        float64 // daemons + main, per node (SMP metric)
+
+	// Application progress.
+	AppCPUTimePerNodeSec float64
+	AppCPUUtilPct        float64
+	AppIterations        int
+
+	// Background load.
+	PvmCPUUtilPct   float64
+	OtherCPUUtilPct float64
+
+	// Interconnect.
+	NetUtilPct   float64 // all owners
+	PdNetUtilPct float64 // instrumentation traffic only
+
+	// Data forwarding performance.
+	MonitoringLatencySec    float64 // mean generation-to-receipt per sample
+	MonitoringLatencyP95Sec float64 // 95th percentile (P² estimate)
+	MonitoringLatencyMaxSec float64 // worst case observed
+	ForwardLatencySec       float64 // mean transport delay (newest sample age)
+	ThroughputPerSec        float64 // samples received at main per second
+	PdThroughputPerSec      float64 // samples forwarded by daemons per second
+
+	SamplesGenerated int
+	SamplesReceived  int
+	// WarmupCarryover counts samples generated during the warmup period
+	// but still buffered or in flight when measurement began; they may be
+	// received (and counted in SamplesReceived) during the measured
+	// window, so SamplesReceived <= SamplesGenerated + WarmupCarryover.
+	WarmupCarryover   int
+	MessagesReceived  int
+	MessagesForwarded int
+	MessagesMerged    int
+	BlockedPuts       int
+	BarrierReleases   int
+}
+
+// collect computes the Result from the model's resource accounting.
+func (m *Model) collect() Result {
+	cfg := m.Cfg
+	durUS := cfg.Duration
+	durSec := durUS / 1e6
+	res := Result{DurationSec: durSec}
+
+	nodes := float64(cfg.Nodes)
+	// Total CPU capacity per "node": for SMP the pool has cfg.Nodes cores
+	// in NodeCPUs[0], so summing busy time and dividing by nodes*duration
+	// is uniform across architectures.
+	var pdBusy, appBusy, pvmBusy, otherBusy float64
+	for _, cpu := range m.NodeCPUs {
+		pdBusy += cpu.Busy(procs.OwnerPd)
+		appBusy += cpu.Busy(procs.OwnerApp)
+		pvmBusy += cpu.Busy(procs.OwnerPvm)
+		otherBusy += cpu.Busy(procs.OwnerOther)
+	}
+	mainBusy := m.HostCPU.Busy(procs.OwnerMain)
+
+	res.PdCPUTimePerNodeSec = pdBusy / nodes / 1e6
+	res.PdCPUUtilPct = pdBusy / (nodes * durUS) * 100
+	res.MainCPUTimeSec = mainBusy / 1e6
+	if cfg.Arch == SMP {
+		res.MainCPUUtilPct = mainBusy / (nodes * durUS) * 100
+		res.ISCPUUtilPct = (pdBusy + mainBusy) / (nodes * durUS) * 100
+	} else {
+		res.MainCPUUtilPct = mainBusy / durUS * 100
+		res.ISCPUUtilPct = res.PdCPUUtilPct + mainBusy/(nodes*durUS)*100
+	}
+	res.AppCPUTimePerNodeSec = appBusy / nodes / 1e6
+	res.AppCPUUtilPct = appBusy / (nodes * durUS) * 100
+	res.PvmCPUUtilPct = pvmBusy / (nodes * durUS) * 100
+	res.OtherCPUUtilPct = otherBusy / (nodes * durUS) * 100
+
+	res.NetUtilPct = m.Net.BusyTotal() / durUS * 100
+	res.PdNetUtilPct = m.Net.Busy(procs.OwnerPd) / durUS * 100
+
+	res.MonitoringLatencySec = m.Main.Latency.Mean() / 1e6
+	if m.Main.LatencyP95 != nil {
+		res.MonitoringLatencyP95Sec = m.Main.LatencyP95.Value() / 1e6
+	}
+	res.MonitoringLatencyMaxSec = m.Main.LatencyMax / 1e6
+	res.ForwardLatencySec = m.Main.ForwardLatency.Mean() / 1e6
+	res.ThroughputPerSec = float64(m.Main.SamplesReceived) / durSec
+
+	for _, a := range m.Apps {
+		res.SamplesGenerated += a.Generated
+		res.BlockedPuts += a.BlockedPuts
+		res.AppIterations += a.Iterations
+	}
+	var pdSamples int
+	for _, d := range m.Daemons {
+		pdSamples += d.SamplesCollected // distinct samples, excluding relays
+		res.MessagesForwarded += d.MessagesForwarded
+		res.MessagesMerged += d.MessagesMerged
+	}
+	res.PdThroughputPerSec = float64(pdSamples) / durSec
+
+	res.SamplesReceived = m.Main.SamplesReceived
+	res.WarmupCarryover = m.warmupCarryover
+	res.MessagesReceived = m.Main.MessagesReceived
+	if m.Barrier != nil {
+		res.BarrierReleases = m.Barrier.Releases
+	}
+	return res
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/trace"
+)
+
+func TestTraceRecordingRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.Duration = 20e6
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.EnableTraceRecording(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	recs := rec.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records captured")
+	}
+	// Records are valid and sorted.
+	for i, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if i > 0 && r.StartUS < recs[i-1].StartUS {
+			t.Fatal("records not sorted")
+		}
+	}
+	// The recorded trace's per-class CPU totals must equal the model's
+	// occupancy accounting exactly (same events, two views).
+	an, err := trace.Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appTot, _ := an.TotalsFor(trace.ProcApplication)
+	if math.Abs(appTot.CPUTimeUS/1e6-res.AppCPUTimePerNodeSec) > 1e-9 {
+		t.Fatalf("trace app CPU %v s != model %v s", appTot.CPUTimeUS/1e6, res.AppCPUTimePerNodeSec)
+	}
+	pdTot, _ := an.TotalsFor(trace.ProcPd)
+	if math.Abs(pdTot.CPUTimeUS/1e6-res.PdCPUTimePerNodeSec) > 1e-9 {
+		t.Fatalf("trace Pd CPU %v s != model %v s", pdTot.CPUTimeUS/1e6, res.PdCPUTimePerNodeSec)
+	}
+	// Main process traced on the dedicated host (Figure 29's second file).
+	mainTot, ok := an.TotalsFor(trace.ProcParadyn)
+	if !ok || math.Abs(mainTot.CPUTimeUS/1e6-res.MainCPUTimeSec) > 1e-9 {
+		t.Fatalf("trace main CPU %+v != model %v s", mainTot, res.MainCPUTimeSec)
+	}
+	// CPU dispatch records never exceed the scheduling quantum.
+	for _, r := range recs {
+		if r.Resource == trace.CPU && r.DurationUS > cfg.Quantum+1e-9 {
+			t.Fatalf("dispatch record longer than quantum: %v", r.DurationUS)
+		}
+	}
+}
+
+func TestTraceRecordingPdRequestStatistics(t *testing.T) {
+	// Daemon requests (mean 267 << quantum) are rarely split, so the
+	// recorded per-record mean approximates the Table 2 parameter.
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.SamplingPeriod = 5000
+	cfg.Duration = 50e6
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.EnableTraceRecording(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	var pd []float64
+	for _, r := range rec.Records() {
+		if r.Process == trace.ProcPd && r.Resource == trace.CPU {
+			pd = append(pd, r.DurationUS)
+		}
+	}
+	if len(pd) < 1000 {
+		t.Fatalf("only %d pd records", len(pd))
+	}
+	mean := 0.0
+	for _, v := range pd {
+		mean += v
+	}
+	mean /= float64(len(pd))
+	if math.Abs(mean-267)/267 > 0.10 {
+		t.Fatalf("recorded Pd CPU mean %v, want ~267", mean)
+	}
+}
+
+func TestTraceRecordingErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 1e6
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableTraceRecording(99); err == nil {
+		t.Fatal("out-of-range node should fail")
+	}
+	if _, err := m.EnableTraceRecording(-1); err == nil {
+		t.Fatal("negative node should fail")
+	}
+}
+
+func TestTraceRecordingUnknownOwnerLabel(t *testing.T) {
+	// Owners outside the known set still record, with a fallback label.
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.Duration = 1e5
+	cfg.Background = false
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.EnableTraceRecording(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NodeCPUs[0].Submit("mystery", 500, nil)
+	m.Run()
+	found := false
+	for _, r := range rec.Records() {
+		if r.Process == "mystery" && r.PID == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown owner not recorded")
+	}
+}

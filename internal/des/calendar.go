@@ -1,0 +1,155 @@
+package des
+
+// HeapCalendar is a binary min-heap future event list keyed on (time, seq).
+// It is the default calendar: O(log n) push/pop.
+type HeapCalendar struct {
+	events []*Event
+}
+
+// NewHeapCalendar returns an empty heap calendar.
+func NewHeapCalendar() *HeapCalendar { return &HeapCalendar{} }
+
+// Len implements Calendar.
+func (h *HeapCalendar) Len() int { return len(h.events) }
+
+func (h *HeapCalendar) less(i, j int) bool {
+	a, b := h.events[i], h.events[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (h *HeapCalendar) swap(i, j int) {
+	h.events[i], h.events[j] = h.events[j], h.events[i]
+	h.events[i].index = i
+	h.events[j].index = j
+}
+
+// Push implements Calendar.
+func (h *HeapCalendar) Push(e *Event) {
+	e.index = len(h.events)
+	h.events = append(h.events, e)
+	h.up(e.index)
+}
+
+// Pop implements Calendar.
+func (h *HeapCalendar) Pop() *Event {
+	if len(h.events) == 0 {
+		return nil
+	}
+	top := h.events[0]
+	last := len(h.events) - 1
+	h.swap(0, last)
+	h.events[last] = nil
+	h.events = h.events[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h *HeapCalendar) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *HeapCalendar) down(i int) {
+	n := len(h.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// ListCalendar is a sorted doubly-linked-list future event list: O(n)
+// insertion scanning from the tail (fast for mostly-increasing schedules),
+// O(1) pop. Retained for the event-queue ablation study
+// (BenchmarkAblationEventQueue); the heap wins on the ROCC workloads.
+type ListCalendar struct {
+	head, tail *listNode
+	n          int
+}
+
+type listNode struct {
+	e          *Event
+	prev, next *listNode
+}
+
+// NewListCalendar returns an empty list calendar.
+func NewListCalendar() *ListCalendar { return &ListCalendar{} }
+
+// Len implements Calendar.
+func (l *ListCalendar) Len() int { return l.n }
+
+// Push implements Calendar.
+func (l *ListCalendar) Push(e *Event) {
+	node := &listNode{e: e}
+	l.n++
+	if l.tail == nil {
+		l.head, l.tail = node, node
+		return
+	}
+	// Scan backward for the insertion point: stable for equal times because
+	// new events (higher seq) go after existing ones.
+	cur := l.tail
+	for cur != nil && after(cur.e, e) {
+		cur = cur.prev
+	}
+	if cur == nil { // new head
+		node.next = l.head
+		l.head.prev = node
+		l.head = node
+		return
+	}
+	node.prev = cur
+	node.next = cur.next
+	if cur.next != nil {
+		cur.next.prev = node
+	} else {
+		l.tail = node
+	}
+	cur.next = node
+}
+
+// after reports whether a sorts after b in (time, seq) order.
+func after(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time > b.time
+	}
+	return a.seq > b.seq
+}
+
+// Pop implements Calendar.
+func (l *ListCalendar) Pop() *Event {
+	if l.head == nil {
+		return nil
+	}
+	node := l.head
+	l.head = node.next
+	if l.head != nil {
+		l.head.prev = nil
+	} else {
+		l.tail = nil
+	}
+	l.n--
+	return node.e
+}

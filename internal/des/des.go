@@ -1,0 +1,144 @@
+// Package des is a deterministic discrete-event simulation engine using the
+// classic event-scheduling world view. The ROCC model of the Paradyn
+// instrumentation system executes on top of it: resources and processes
+// schedule callbacks on a future event list, and the simulator dispatches
+// them in non-decreasing time order.
+//
+// Time is a float64 in microseconds, matching the units of the workload
+// characterization in Table 2 of the paper. Events at equal times are
+// dispatched in scheduling order (FIFO), which keeps runs exactly
+// reproducible for a fixed seed.
+package des
+
+import "math"
+
+// Time is simulated time in microseconds.
+type Time = float64
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	time     Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index; -1 when not queued
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Calendar is a future event list. Two implementations are provided: a
+// binary heap (the default) and a sorted doubly-linked list (kept for the
+// event-queue ablation benchmark).
+type Calendar interface {
+	Push(*Event)
+	Pop() *Event // next event in (time, seq) order, nil when empty
+	Len() int
+}
+
+// Simulator owns the simulation clock and the future event list.
+type Simulator struct {
+	now Time
+	cal Calendar
+	seq uint64
+
+	// Dispatched counts events actually executed (not canceled ones).
+	Dispatched uint64
+}
+
+// New returns a simulator with a heap calendar, clock at zero.
+func New() *Simulator { return NewWithCalendar(NewHeapCalendar()) }
+
+// NewWithCalendar returns a simulator using the supplied event calendar.
+func NewWithCalendar(c Calendar) *Simulator { return &Simulator{cal: c} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of events in the future event list, including
+// canceled events not yet discarded.
+func (s *Simulator) Pending() int { return s.cal.Len() }
+
+// Schedule queues fn to run delay microseconds from now. Negative delays
+// panic: the ROCC model never schedules into the past, so a negative delay
+// is a model bug worth failing loudly on.
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic("des: negative or NaN delay")
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t >= Now().
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic("des: scheduling into the past")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	s.cal.Push(e)
+	return e
+}
+
+// Step dispatches the next event. It returns false when the calendar is
+// empty. Canceled events are discarded without advancing Dispatched, but do
+// advance the clock to their timestamp (harmless: a later real event can
+// only be at an equal or later time).
+func (s *Simulator) Step() bool {
+	for {
+		e := s.cal.Pop()
+		if e == nil {
+			return false
+		}
+		if e.time < s.now {
+			panic("des: calendar returned an event from the past")
+		}
+		s.now = e.time
+		if e.canceled {
+			continue
+		}
+		s.Dispatched++
+		e.fn()
+		return true
+	}
+}
+
+// Run dispatches events until the calendar is empty or the next event is
+// after until; the clock finishes exactly at until. Events scheduled at
+// time == until are dispatched.
+func (s *Simulator) Run(until Time) {
+	if until < s.now {
+		panic("des: Run target before current time")
+	}
+	for {
+		e := s.cal.Pop()
+		if e == nil {
+			break
+		}
+		if e.time > until {
+			// Put it back for a later Run call.
+			s.cal.Push(e)
+			break
+		}
+		s.now = e.time
+		if e.canceled {
+			continue
+		}
+		s.Dispatched++
+		e.fn()
+	}
+	s.now = until
+}
+
+// RunAll dispatches every remaining event.
+func (s *Simulator) RunAll() {
+	for s.Step() {
+	}
+}

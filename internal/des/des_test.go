@@ -1,0 +1,256 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock %v, want 30", s.Now())
+	}
+	if s.Dispatched != 3 {
+		t.Fatalf("dispatched %d", s.Dispatched)
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	for _, cal := range []Calendar{NewHeapCalendar(), NewListCalendar()} {
+		s := NewWithCalendar(cal)
+		var got []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.Schedule(5, func() { got = append(got, i) })
+		}
+		s.RunAll()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("%T: equal-time events out of FIFO order: %v", cal, got)
+			}
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	s.Schedule(5, func() { e.Cancel() })
+	s.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	if s.Dispatched != 1 {
+		t.Fatalf("dispatched %d, want 1", s.Dispatched)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		s.Schedule(d, func() { got = append(got, d) })
+	}
+	s.Run(12)
+	if len(got) != 2 || s.Now() != 12 {
+		t.Fatalf("after Run(12): events %v, now %v", got, s.Now())
+	}
+	// Event exactly at the horizon is dispatched.
+	s.Run(15)
+	if len(got) != 3 || got[2] != 15 {
+		t.Fatalf("boundary event not dispatched: %v", got)
+	}
+	s.Run(100)
+	if len(got) != 4 || s.Now() != 100 {
+		t.Fatalf("final: events %v, now %v", got, s.Now())
+	}
+}
+
+func TestScheduleDuringDispatch(t *testing.T) {
+	s := New()
+	var got []Time
+	s.Schedule(10, func() {
+		got = append(got, s.Now())
+		s.Schedule(0, func() { got = append(got, s.Now()) }) // same-time follow-on
+		s.Schedule(5, func() { got = append(got, s.Now()) })
+	})
+	s.RunAll()
+	want := []Time{10, 10, 15}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPanicsOnBadSchedules(t *testing.T) {
+	s := New()
+	mustPanic(t, "negative delay", func() { s.Schedule(-1, func() {}) })
+	s.Schedule(10, func() {})
+	s.RunAll()
+	mustPanic(t, "past At", func() { s.At(5, func() {}) })
+	mustPanic(t, "past Run", func() { s.Run(5) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty calendar returned true")
+	}
+	if s.Pending() != 0 {
+		t.Fatal("Pending != 0")
+	}
+}
+
+// Both calendar implementations must produce identical dispatch sequences
+// on random workloads (the event-queue ablation must not change results).
+func TestCalendarEquivalence(t *testing.T) {
+	run := func(cal Calendar) []Time {
+		s := NewWithCalendar(cal)
+		r := rng.New(77)
+		var got []Time
+		var rec func()
+		count := 0
+		rec = func() {
+			got = append(got, s.Now())
+			count++
+			if count < 500 {
+				s.Schedule(r.Exp(100), rec)
+				if r.Bernoulli(0.3) {
+					s.Schedule(r.Exp(50), rec)
+					count++ // keep total bounded
+				}
+			}
+		}
+		s.Schedule(0, rec)
+		s.Run(1e6)
+		return got
+	}
+	a := run(NewHeapCalendar())
+	b := run(NewListCalendar())
+	if len(a) != len(b) {
+		t.Fatalf("dispatch counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always come out of either calendar in sorted time order.
+func TestQuickCalendarsSorted(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n)%200 + 1
+		for _, mk := range []func() Calendar{
+			func() Calendar { return NewHeapCalendar() },
+			func() Calendar { return NewListCalendar() },
+		} {
+			cal := mk()
+			r := rng.New(seed)
+			times := make([]Time, count)
+			for i := range times {
+				times[i] = r.Float64() * 1000
+				cal.Push(&Event{time: times[i], seq: uint64(i), index: -1})
+			}
+			sort.Float64s(times)
+			for i := 0; i < count; i++ {
+				e := cal.Pop()
+				if e == nil || e.time != times[i] {
+					return false
+				}
+			}
+			if cal.Pop() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved push/pop keeps the heap consistent.
+func TestQuickHeapInterleaved(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHeapCalendar()
+		last := Time(-1)
+		live := 0
+		var seq uint64
+		for op := 0; op < 500; op++ {
+			if live == 0 || r.Bernoulli(0.6) {
+				tm := last
+				if tm < 0 {
+					tm = 0
+				}
+				h.Push(&Event{time: tm + r.Float64()*100, seq: seq, index: -1})
+				seq++
+				live++
+			} else {
+				e := h.Pop()
+				if e == nil || e.time < last {
+					return false
+				}
+				last = e.time
+				live--
+			}
+		}
+		return h.Len() == live
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchCalendar(b *testing.B, mk func() Calendar) {
+	r := rng.New(1)
+	s := NewWithCalendar(mk())
+	// Self-rescheduling event population of ~1000 concurrent timers.
+	for i := 0; i < 1000; i++ {
+		var rec func()
+		rec = func() { s.Schedule(r.Exp(100), rec) }
+		s.Schedule(r.Exp(100), rec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkHeapCalendar(b *testing.B) {
+	benchCalendar(b, func() Calendar { return NewHeapCalendar() })
+}
+func BenchmarkListCalendar(b *testing.B) {
+	benchCalendar(b, func() Calendar { return NewListCalendar() })
+}

@@ -1,0 +1,350 @@
+package doe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSignTable(t *testing.T) {
+	st := SignTable(2)
+	want := [][]int{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}
+	if len(st) != 4 {
+		t.Fatalf("rows %d", len(st))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if st[i][j] != want[i][j] {
+				t.Fatalf("sign table %v, want %v", st, want)
+			}
+		}
+	}
+	// Columns are balanced.
+	st3 := SignTable(3)
+	for j := 0; j < 3; j++ {
+		sum := 0
+		for _, row := range st3 {
+			sum += row[j]
+		}
+		if sum != 0 {
+			t.Fatalf("unbalanced column %d", j)
+		}
+	}
+}
+
+// Jain's classic 2^2 memory-cache example (Art of Computer Systems
+// Performance Analysis §17): responses 15, 45, 25, 75 give effects
+// q0=40, qA=20, qB=10, qAB=5 and variation split 76.2% / 19.0% / 4.8%.
+func TestAnalyze2KRJainExample(t *testing.T) {
+	responses := [][]float64{{15}, {45}, {25}, {75}}
+	an, err := Analyze2KR([]string{"memory", "cache"}, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(an.Mean, 40, 1e-12) {
+		t.Fatalf("mean %v", an.Mean)
+	}
+	a, _ := an.EffectByTerm("A")
+	b, _ := an.EffectByTerm("B")
+	ab, _ := an.EffectByTerm("AB")
+	if !almost(a.Estimate, 20, 1e-12) || !almost(b.Estimate, 10, 1e-12) || !almost(ab.Estimate, 5, 1e-12) {
+		t.Fatalf("effects %v %v %v", a.Estimate, b.Estimate, ab.Estimate)
+	}
+	if !almost(a.Fraction, 1600.0/2100, 1e-12) {
+		t.Fatalf("A fraction %v", a.Fraction)
+	}
+	if !almost(b.Fraction, 400.0/2100, 1e-12) || !almost(ab.Fraction, 100.0/2100, 1e-12) {
+		t.Fatal("B/AB fractions")
+	}
+	if an.ErrorFraction != 0 {
+		t.Fatal("no replication, error fraction must be 0")
+	}
+	if !almost(an.FractionSum(), 1, 1e-12) {
+		t.Fatalf("fractions sum to %v", an.FractionSum())
+	}
+	// Sorted descending.
+	if an.Effects[0].Term != "A" || an.Effects[2].Term != "AB" {
+		t.Fatalf("sort order %v", an.Effects)
+	}
+}
+
+// Jain §18 adds replications: 2^2 design with r=3. Check SSE handling on
+// a constructed example with within-run noise.
+func TestAnalyze2KRWithReplications(t *testing.T) {
+	responses := [][]float64{
+		{14, 16, 15},
+		{44, 46, 45},
+		{24, 26, 25},
+		{74, 76, 75},
+	}
+	an, err := Analyze2KR([]string{"A", "B"}, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same means as the Jain example; SSE = 4 runs * (1+0+1) = 8.
+	if !almost(an.SSE, 8, 1e-9) {
+		t.Fatalf("SSE %v", an.SSE)
+	}
+	// SS terms now scaled by r=3: SSA = 4*3*400 = 4800.
+	a, _ := an.EffectByTerm("A")
+	if !almost(a.SS, 4800, 1e-9) {
+		t.Fatalf("SSA %v", a.SS)
+	}
+	if !almost(an.SST, 4800+1200+300+8, 1e-9) {
+		t.Fatalf("SST %v", an.SST)
+	}
+	if !almost(an.FractionSum(), 1, 1e-12) {
+		t.Fatal("fractions")
+	}
+	if an.Replications != 3 {
+		t.Fatal("replication count")
+	}
+}
+
+func TestAnalyze2KRThreeFactors(t *testing.T) {
+	// Pure single-factor response: y = 10*C level. Only C explains
+	// variation.
+	responses := make([][]float64, 8)
+	for i := range responses {
+		level := -1.0
+		if i>>2&1 == 1 {
+			level = 1
+		}
+		responses[i] = []float64{10 * level}
+	}
+	an, err := Analyze2KR([]string{"A", "B", "C"}, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := an.EffectByTerm("C")
+	if !ok || !almost(c.Fraction, 1, 1e-12) {
+		t.Fatalf("C should explain all variation: %+v", an.Effects)
+	}
+	if an.Effects[0].Term != "C" {
+		t.Fatal("C should rank first")
+	}
+	if len(an.Effects) != 7 {
+		t.Fatalf("expected 7 terms, got %d", len(an.Effects))
+	}
+	top := an.TopEffects(3)
+	if len(top) != 3 || top[0].Term != "C" {
+		t.Fatal("TopEffects")
+	}
+	if got := an.TopEffects(100); len(got) != 7 {
+		t.Fatal("TopEffects clamp")
+	}
+}
+
+func TestAnalyze2KRErrors(t *testing.T) {
+	if _, err := Analyze2KR(nil, nil); err == nil {
+		t.Fatal("no factors")
+	}
+	if _, err := Analyze2KR([]string{"A"}, [][]float64{{1}}); err == nil {
+		t.Fatal("wrong row count")
+	}
+	if _, err := Analyze2KR([]string{"A"}, [][]float64{{1}, {}}); err == nil {
+		t.Fatal("empty row")
+	}
+	if _, err := Analyze2KR([]string{"A"}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows")
+	}
+	if _, ok := (Analysis{}).EffectByTerm("Z"); ok {
+		t.Fatal("missing term should report false")
+	}
+}
+
+// Property: fractions always sum to 1 (within tolerance) and lie in [0,1].
+func TestQuickAllocationFractions(t *testing.T) {
+	f := func(seed uint64, kSeed uint8, rSeed uint8) bool {
+		k := int(kSeed)%3 + 1
+		r := int(rSeed)%4 + 1
+		rnd := rng.New(seed)
+		rows := 1 << k
+		responses := make([][]float64, rows)
+		for i := range responses {
+			row := make([]float64, r)
+			for j := range row {
+				row[j] = rnd.Normal(100, 25)
+			}
+			responses[i] = row
+		}
+		names := []string{"A", "B", "C", "D"}[:k]
+		an, err := Analyze2KR(names, responses)
+		if err != nil {
+			return false
+		}
+		if !almost(an.FractionSum(), 1, 1e-9) {
+			return false
+		}
+		for _, e := range an.Effects {
+			if e.Fraction < -1e-12 || e.Fraction > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+	// (1,1)/sqrt2 and (1,-1)/sqrt2.
+	vals, vecs := JacobiEigen([][]float64{{2, 1}, {1, 2}})
+	got := append([]float64(nil), vals...)
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if !almost(got[0], 3, 1e-10) || !almost(got[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Verify A v = lambda v for each column.
+	a := [][]float64{{2, 1}, {1, 2}}
+	for col := 0; col < 2; col++ {
+		for row := 0; row < 2; row++ {
+			av := a[row][0]*vecs[0][col] + a[row][1]*vecs[1][col]
+			if !almost(av, vals[col]*vecs[row][col], 1e-10) {
+				t.Fatalf("A v != lambda v for col %d", col)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	vals, vecs := JacobiEigen([][]float64{{5, 0, 0}, {0, 2, 0}, {0, 0, 7}})
+	want := map[float64]bool{5: true, 2: true, 7: true}
+	for _, v := range vals {
+		found := false
+		for w := range want {
+			if almost(v, w, 1e-12) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unexpected eigenvalue %v", v)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are the identity columns.
+	for i := range vecs {
+		for j := range vecs[i] {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almost(math.Abs(vecs[i][j]), want, 1e-12) {
+				t.Fatalf("vecs %v", vecs)
+			}
+		}
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along y = 2x with small noise: first component ~ (1,2)/sqrt5.
+	r := rng.New(5)
+	data := make([][]float64, 500)
+	for i := range data {
+		x := r.Normal(0, 3)
+		data[i] = []float64{x, 2*x + r.Normal(0, 0.1)}
+	}
+	res, err := PCA(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explained[0] < 0.99 {
+		t.Fatalf("first component explains only %v", res.Explained[0])
+	}
+	c := res.Components[0]
+	ratio := c[1] / c[0]
+	if !almost(ratio, 2, 0.05) {
+		t.Fatalf("dominant direction slope %v, want ~2", ratio)
+	}
+	// Projection of a point on the line has ~zero second score.
+	scores := res.Project([]float64{1, 2})
+	if math.Abs(scores[1]) > 0.2 {
+		t.Fatalf("second score %v", scores[1])
+	}
+}
+
+func TestPCAStandardized(t *testing.T) {
+	// Two variables with wildly different scales but equal correlation
+	// structure: standardized PCA weights them equally.
+	r := rng.New(6)
+	data := make([][]float64, 400)
+	for i := range data {
+		z := r.Normal(0, 1)
+		data[i] = []float64{z * 1e6, z + r.Normal(0, 0.5)}
+	}
+	res, err := PCA(data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scales == nil {
+		t.Fatal("scales missing")
+	}
+	c := res.Components[0]
+	if !almost(math.Abs(c[0]), math.Abs(c[1]), 0.1) {
+		t.Fatalf("standardized loadings unequal: %v", c)
+	}
+}
+
+func TestPCAConstantVariable(t *testing.T) {
+	data := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	res, err := PCA(data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explained[0] < 0.99 {
+		t.Fatal("varying variable should dominate")
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA(nil, false); err == nil {
+		t.Fatal("empty")
+	}
+	if _, err := PCA([][]float64{{1}}, false); err == nil {
+		t.Fatal("one observation")
+	}
+	if _, err := PCA([][]float64{{}, {}}, false); err == nil {
+		t.Fatal("zero variables")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {1}}, false); err == nil {
+		t.Fatal("ragged")
+	}
+}
+
+// Property: PCA explained fractions sum to ~1 and are non-increasing.
+func TestQuickPCAExplained(t *testing.T) {
+	f := func(seed uint64, p8 uint8) bool {
+		p := int(p8)%4 + 2
+		r := rng.New(seed)
+		data := make([][]float64, 30)
+		for i := range data {
+			row := make([]float64, p)
+			for j := range row {
+				row[j] = r.Normal(float64(j), float64(j+1))
+			}
+			data[i] = row
+		}
+		res, err := PCA(data, false)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i, e := range res.Explained {
+			sum += e
+			if i > 0 && e > res.Explained[i-1]+1e-12 {
+				return false
+			}
+		}
+		return almost(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

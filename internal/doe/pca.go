@@ -1,0 +1,214 @@
+package doe
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PCAResult holds a principal component analysis of an observation matrix.
+type PCAResult struct {
+	// Eigenvalues in decreasing order (variances along components).
+	Eigenvalues []float64
+	// Components[i] is the unit eigenvector of the i-th component, in the
+	// original variable space.
+	Components [][]float64
+	// Explained[i] is Eigenvalues[i] / sum(Eigenvalues).
+	Explained []float64
+	// Means holds per-variable means removed before analysis.
+	Means []float64
+	// Scales holds the per-variable standard deviations divided out when
+	// standardized PCA was requested (nil otherwise).
+	Scales []float64
+}
+
+// PCA computes principal components of data (rows = observations, columns
+// = variables). standardize selects correlation-matrix PCA (each variable
+// scaled to unit variance), appropriate when variables have different
+// units — as with the mixed metrics of the factorial experiments.
+func PCA(data [][]float64, standardize bool) (PCAResult, error) {
+	n := len(data)
+	if n < 2 {
+		return PCAResult{}, errors.New("doe: PCA needs at least two observations")
+	}
+	p := len(data[0])
+	if p == 0 {
+		return PCAResult{}, errors.New("doe: PCA needs at least one variable")
+	}
+	for _, row := range data {
+		if len(row) != p {
+			return PCAResult{}, errors.New("doe: ragged observation matrix")
+		}
+	}
+
+	means := make([]float64, p)
+	for _, row := range data {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+
+	centered := make([][]float64, n)
+	for i, row := range data {
+		centered[i] = make([]float64, p)
+		for j, v := range row {
+			centered[i][j] = v - means[j]
+		}
+	}
+
+	var scales []float64
+	if standardize {
+		scales = make([]float64, p)
+		for j := 0; j < p; j++ {
+			var ss float64
+			for i := 0; i < n; i++ {
+				ss += centered[i][j] * centered[i][j]
+			}
+			sd := math.Sqrt(ss / float64(n-1))
+			if sd == 0 {
+				sd = 1 // constant variable: leave centered at zero
+			}
+			scales[j] = sd
+			for i := 0; i < n; i++ {
+				centered[i][j] /= sd
+			}
+		}
+	}
+
+	// Covariance (or correlation) matrix.
+	cov := make([][]float64, p)
+	for j := range cov {
+		cov[j] = make([]float64, p)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			for l := j; l < p; l++ {
+				cov[j][l] += centered[i][j] * centered[i][l]
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		for l := j; l < p; l++ {
+			cov[j][l] /= float64(n - 1)
+			cov[l][j] = cov[j][l]
+		}
+	}
+
+	vals, vecs := JacobiEigen(cov)
+
+	// Sort by eigenvalue, descending.
+	idx := make([]int, p)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	res := PCAResult{
+		Eigenvalues: make([]float64, p),
+		Components:  make([][]float64, p),
+		Explained:   make([]float64, p),
+		Means:       means,
+		Scales:      scales,
+	}
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	for rank, i := range idx {
+		res.Eigenvalues[rank] = vals[i]
+		comp := make([]float64, p)
+		for j := 0; j < p; j++ {
+			comp[j] = vecs[j][i]
+		}
+		res.Components[rank] = comp
+		if total > 0 && vals[i] > 0 {
+			res.Explained[rank] = vals[i] / total
+		}
+	}
+	return res, nil
+}
+
+// Project maps one observation onto the principal components, returning
+// its component scores.
+func (r PCAResult) Project(obs []float64) []float64 {
+	p := len(r.Means)
+	scores := make([]float64, len(r.Components))
+	centered := make([]float64, p)
+	for j := 0; j < p && j < len(obs); j++ {
+		centered[j] = obs[j] - r.Means[j]
+		if r.Scales != nil {
+			centered[j] /= r.Scales[j]
+		}
+	}
+	for i, comp := range r.Components {
+		for j := 0; j < p; j++ {
+			scores[i] += comp[j] * centered[j]
+		}
+	}
+	return scores
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a real
+// symmetric matrix with the cyclic Jacobi rotation method. vecs[i][j] is
+// the i-th coordinate of the j-th eigenvector. The input is not modified.
+func JacobiEigen(m [][]float64) (vals []float64, vecs [][]float64) {
+	p := len(m)
+	a := make([][]float64, p)
+	vecs = make([][]float64, p)
+	for i := range a {
+		a[i] = append([]float64(nil), m[i]...)
+		vecs[i] = make([]float64, p)
+		vecs[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for i := 0; i < p-1; i++ {
+			for j := i + 1; j < p; j++ {
+				if math.Abs(a[i][j]) < 1e-30 {
+					continue
+				}
+				// Compute the Jacobi rotation that zeroes a[i][j].
+				theta := (a[j][j] - a[i][i]) / (2 * a[i][j])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+				aii, ajj, aij := a[i][i], a[j][j], a[i][j]
+				a[i][i] = aii - t*aij
+				a[j][j] = ajj + t*aij
+				a[i][j], a[j][i] = 0, 0
+				for l := 0; l < p; l++ {
+					if l != i && l != j {
+						ali, alj := a[l][i], a[l][j]
+						a[l][i] = ali - s*(alj+tau*ali)
+						a[i][l] = a[l][i]
+						a[l][j] = alj + s*(ali-tau*alj)
+						a[j][l] = a[l][j]
+					}
+					vli, vlj := vecs[l][i], vecs[l][j]
+					vecs[l][i] = vli - s*(vlj+tau*vli)
+					vecs[l][j] = vlj + s*(vli-tau*vlj)
+				}
+			}
+		}
+	}
+	vals = make([]float64, p)
+	for i := 0; i < p; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, vecs
+}

@@ -1,0 +1,67 @@
+package doe
+
+import (
+	"errors"
+	"math"
+
+	"rocc/internal/stats"
+)
+
+// EffectCI is a confidence interval for one effect estimate of a
+// replicated 2^k·r design (Jain §18.5): the standard deviation of effects
+// is s_e / sqrt(2^k · r) with s_e^2 = SSE / (2^k · (r-1)).
+type EffectCI struct {
+	Term      string
+	Estimate  float64
+	HalfWidth float64
+	Level     float64
+	// Significant reports whether the interval excludes zero — whether
+	// the effect is statistically distinguishable from experimental error.
+	Significant bool
+}
+
+// EffectCIs returns confidence intervals for every non-mean effect at the
+// given two-sided level. The design must have r >= 2 replications,
+// otherwise experimental error cannot be estimated.
+func (a Analysis) EffectCIs(level float64) ([]EffectCI, error) {
+	if a.Replications < 2 {
+		return nil, errors.New("doe: effect CIs need r >= 2 replications")
+	}
+	if level <= 0 || level >= 1 {
+		return nil, errors.New("doe: confidence level must be in (0,1)")
+	}
+	runs := 1 << len(a.FactorNames)
+	df := runs * (a.Replications - 1)
+	se2 := a.SSE / float64(df)
+	seEffect := math.Sqrt(se2 / float64(runs*a.Replications))
+	t := stats.TInvCDF(0.5+level/2, df)
+	out := make([]EffectCI, 0, len(a.Effects))
+	for _, e := range a.Effects {
+		hw := t * seEffect
+		out = append(out, EffectCI{
+			Term:        e.Term,
+			Estimate:    e.Estimate,
+			HalfWidth:   hw,
+			Level:       level,
+			Significant: math.Abs(e.Estimate) > hw,
+		})
+	}
+	return out, nil
+}
+
+// SignificantEffects returns the terms whose effects are distinguishable
+// from experimental error at the given level, largest first (inherits the
+// Fraction ordering of Effects).
+func (a Analysis) SignificantEffects(level float64) ([]EffectCI, error) {
+	cis, err := a.EffectCIs(level)
+	if err != nil {
+		return nil, err
+	}
+	var out []EffectCI
+	for _, ci := range cis {
+		if ci.Significant {
+			out = append(out, ci)
+		}
+	}
+	return out, nil
+}

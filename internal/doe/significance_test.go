@@ -1,0 +1,76 @@
+package doe
+
+import (
+	"testing"
+
+	"rocc/internal/rng"
+)
+
+func TestEffectCIsSeparateSignalFromNoise(t *testing.T) {
+	// Strong A effect, no B effect, small replication noise.
+	r := rng.New(1)
+	responses := make([][]float64, 4)
+	for i := range responses {
+		base := 100.0
+		if i&1 == 1 { // A high
+			base += 40
+		}
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = base + r.Normal(0, 2)
+		}
+		responses[i] = row
+	}
+	an, err := Analyze2KR([]string{"A", "B"}, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cis, err := an.EffectCIs(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 3 {
+		t.Fatalf("%d CIs", len(cis))
+	}
+	byTerm := map[string]EffectCI{}
+	for _, ci := range cis {
+		byTerm[ci.Term] = ci
+		if ci.HalfWidth <= 0 {
+			t.Fatalf("non-positive half-width for %s", ci.Term)
+		}
+	}
+	if !byTerm["A"].Significant {
+		t.Fatalf("A effect (%v ± %v) should be significant", byTerm["A"].Estimate, byTerm["A"].HalfWidth)
+	}
+	if byTerm["B"].Significant {
+		t.Fatalf("B effect (%v ± %v) should be noise", byTerm["B"].Estimate, byTerm["B"].HalfWidth)
+	}
+
+	sig, err := an.SignificantEffects(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 1 || sig[0].Term != "A" {
+		t.Fatalf("significant set %v", sig)
+	}
+}
+
+func TestEffectCIErrors(t *testing.T) {
+	an, err := Analyze2KR([]string{"A"}, [][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.EffectCIs(0.95); err == nil {
+		t.Fatal("r=1 should fail")
+	}
+	an2, err := Analyze2KR([]string{"A"}, [][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an2.EffectCIs(1.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+	if _, err := an2.EffectCIs(0.9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"io"
+
+	"rocc/internal/analytic"
+	"rocc/internal/report"
+)
+
+func init() {
+	register("fig9", "Analytic: NOW, CF vs BF over number of nodes and sampling period", runFig9)
+	register("fig10", "Analytic: NOW, batch-size sweep (8 nodes)", runFig10)
+	register("fig12", "Analytic: SMP, multiple daemons over sampling period", runFig12)
+	register("fig13", "Analytic: SMP, multiple daemons over number of application processes", runFig13)
+	register("fig14", "Analytic: MPP, direct vs tree over sampling period (256 nodes)", runFig14)
+	register("fig15", "Analytic: MPP, direct vs tree over number of nodes", runFig15)
+}
+
+// analyticMetrics extracts the four panels of the analytic figures.
+var analyticMetrics = []struct {
+	name string
+	get  func(analytic.Metrics) float64
+}{
+	{"Pd CPU utilization/node (%)", func(m analytic.Metrics) float64 { return m.PdCPUUtil * 100 }},
+	{"Paradyn CPU utilization (%)", func(m analytic.Metrics) float64 { return m.ParadynCPUUtil * 100 }},
+	{"Appl. CPU utilization/node (%)", func(m analytic.Metrics) float64 { return m.AppCPUUtil * 100 }},
+	{"Monitoring latency/sample (sec)", func(m analytic.Metrics) float64 { return m.LatencyUS / 1e6 }},
+}
+
+// analyticSweep renders one figure per metric: x-axis values, one series
+// per named variant.
+func analyticSweep(w io.Writer, opt Options, title, xlabel string, xs []float64,
+	variants []struct {
+		name string
+		at   func(x float64) analytic.Metrics
+	}) error {
+	for _, metric := range analyticMetrics {
+		fig := report.NewFigure(title, xlabel, metric.name, xs)
+		for _, v := range variants {
+			ys := make([]float64, len(xs))
+			for i, x := range xs {
+				ys[i] = metric.get(v.at(x))
+			}
+			if err := fig.Add(v.name, ys); err != nil {
+				return err
+			}
+		}
+		if err := renderFigure(w, opt, fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type analyticVariant = struct {
+	name string
+	at   func(x float64) analytic.Metrics
+}
+
+func runFig9(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	// (a) vary nodes at 40 ms sampling.
+	nodes := []float64{2, 4, 8, 16, 24, 32}
+	mkNodes := func(batch float64) func(float64) analytic.Metrics {
+		return func(n float64) analytic.Metrics {
+			p := analytic.DefaultParams()
+			p.Nodes = n
+			p.BatchSize = batch
+			return p.NOW()
+		}
+	}
+	if err := analyticSweep(w, opt, "Figure 9(a): sampling period = 40 ms", "nodes", nodes,
+		[]analyticVariant{
+			{"CF", mkNodes(1)},
+			{"BF(32)", mkNodes(32)},
+		}); err != nil {
+		return err
+	}
+	// (b) vary sampling period at 8 nodes.
+	sps := []float64{1, 2, 4, 8, 16, 32, 64} // msec
+	mkSP := func(batch float64) func(float64) analytic.Metrics {
+		return func(sp float64) analytic.Metrics {
+			p := analytic.DefaultParams()
+			p.SamplingPeriod = sp * 1000
+			p.BatchSize = batch
+			return p.NOW()
+		}
+	}
+	return analyticSweep(w, opt, "Figure 9(b): number of nodes = 8", "sampling_period_ms", sps,
+		[]analyticVariant{
+			{"CF", mkSP(1)},
+			{"BF(32)", mkSP(32)},
+		})
+}
+
+func runFig10(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	batches := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	mk := func(spMS float64) func(float64) analytic.Metrics {
+		return func(b float64) analytic.Metrics {
+			p := analytic.DefaultParams()
+			p.SamplingPeriod = spMS * 1000
+			p.BatchSize = b
+			return p.NOW()
+		}
+	}
+	return analyticSweep(w, opt, "Figure 10: batch-size sweep (8 nodes)", "batch_size", batches,
+		[]analyticVariant{
+			{"SP=1ms", mk(1)},
+			{"SP=40ms", mk(40)},
+			{"SP=64ms", mk(64)},
+		})
+}
+
+func smpVariants(batch float64, apply func(p *analytic.Params, x float64)) []analyticVariant {
+	out := make([]analyticVariant, 0, 4)
+	for pds := 1; pds <= 4; pds++ {
+		pds := pds
+		out = append(out, analyticVariant{
+			name: smpName(pds),
+			at: func(x float64) analytic.Metrics {
+				p := analytic.DefaultParams()
+				p.Nodes = 16
+				p.AppProcs = 32
+				p.Pds = float64(pds)
+				p.BatchSize = batch
+				apply(&p, x)
+				return p.SMP()
+			},
+		})
+	}
+	return out
+}
+
+func smpName(pds int) string {
+	if pds == 1 {
+		return "1 Pd"
+	}
+	return string(rune('0'+pds)) + " Pds"
+}
+
+func runFig12(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	sps := []float64{1, 2, 5, 10, 20, 40, 64}
+	bySP := func(p *analytic.Params, sp float64) { p.SamplingPeriod = sp * 1000 }
+	if err := analyticSweep(w, opt, "Figure 12(a): SMP, CF policy", "sampling_period_ms", sps,
+		smpVariants(1, bySP)); err != nil {
+		return err
+	}
+	return analyticSweep(w, opt, "Figure 12(b): SMP, BF policy (batch 32)", "sampling_period_ms", sps,
+		smpVariants(32, bySP))
+}
+
+func runFig13(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	procs := []float64{1, 2, 3, 4, 5, 6}
+	byProcs := func(p *analytic.Params, n float64) { p.AppProcs = n }
+	if err := analyticSweep(w, opt, "Figure 13(a): SMP, CF policy (SP = 40 ms)", "app_processes", procs,
+		smpVariants(1, byProcs)); err != nil {
+		return err
+	}
+	return analyticSweep(w, opt, "Figure 13(b): SMP, BF policy (SP = 40 ms, batch 32)", "app_processes", procs,
+		smpVariants(32, byProcs))
+}
+
+func runFig14(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	sps := []float64{1, 2, 4, 8, 16, 32, 64}
+	mk := func(tree bool) func(float64) analytic.Metrics {
+		return func(sp float64) analytic.Metrics {
+			p := analytic.DefaultParams()
+			p.Nodes = 256
+			p.BatchSize = 32
+			p.SamplingPeriod = sp * 1000
+			if tree {
+				return p.MPPTree()
+			}
+			return p.MPPDirect()
+		}
+	}
+	return analyticSweep(w, opt, "Figure 14: MPP (256 nodes, BF)", "sampling_period_ms", sps,
+		[]analyticVariant{
+			{"direct", mk(false)},
+			{"tree", mk(true)},
+		})
+}
+
+func runFig15(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	nodes := []float64{2, 4, 8, 16, 32, 64, 128, 256}
+	mk := func(tree bool) func(float64) analytic.Metrics {
+		return func(n float64) analytic.Metrics {
+			p := analytic.DefaultParams()
+			p.Nodes = n
+			p.BatchSize = 32
+			if tree {
+				return p.MPPTree()
+			}
+			return p.MPPDirect()
+		}
+	}
+	return analyticSweep(w, opt, "Figure 15: MPP (SP = 40 ms, BF)", "nodes", nodes,
+		[]analyticVariant{
+			{"direct", mk(false)},
+			{"tree", mk(true)},
+		})
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions shrinks every experiment far enough to run in CI.
+func tinyOptions() Options {
+	return Options{
+		Seed:            1,
+		DurationUS:      2e5, // 0.2 simulated seconds
+		Reps:            2,
+		TestbedDuration: 40 * time.Millisecond,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be present.
+	want := []string{
+		"table1", "fig8", "table2", "table3",
+		"fig9", "fig10", "fig12", "fig13", "fig14", "fig15",
+		"table4", "fig16", "fig17", "fig18", "fig19",
+		"table5", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"table6", "fig25", "fig26", "fig27", "fig28",
+		"fig30", "table7", "fig31", "table8",
+		"ext-adaptive", "ext-consultant", "ext-cluster", "ext-tracing", "ext-phases",
+		"ablation-pipecap", "ablation-quantum", "ablation-eventqueue",
+		"ablation-netcontention", "ablation-fitting", "ablation-detailed",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id should not resolve")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatal("IDs() inconsistent with All()")
+	}
+}
+
+// Each fast (non-simulation-heavy) experiment runs and produces output.
+func TestAnalyticExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig9", "fig10", "fig12", "fig13", "fig14", "fig15"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+		if !strings.Contains(buf.String(), "Pd CPU utilization") {
+			t.Fatalf("%s missing metric panel", id)
+		}
+	}
+}
+
+func TestCharacterizationExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "fig8", "table3"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestTable1MentionsAllClasses(t *testing.T) {
+	e, _ := ByID("table1")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"application", "pd", "pvmd", "other", "paradyn"} {
+		if !strings.Contains(buf.String(), class) {
+			t.Errorf("table1 missing class %s:\n%s", class, buf.String())
+		}
+	}
+}
+
+func TestSimulationExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	for _, id := range []string{"fig17", "fig18", "fig19", "table4", "fig16"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestSMPAndMPPExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.DurationUS = 1e5
+	for _, id := range []string{"table5", "fig20", "fig21", "table6", "fig25"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRemainingSimulationExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.DurationUS = 5e4 // 50 simulated ms: exercises the code paths only
+	for _, id := range []string{"fig22", "fig23", "fig24", "fig26", "fig27", "fig28",
+		"ext-adaptive", "ext-consultant", "ext-phases", "ablation-fitting", "ablation-detailed"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestMeasurementExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.Reps = 1
+	for _, id := range []string{"fig30", "fig31"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "CF") || !strings.Contains(buf.String(), "BF") {
+			t.Fatalf("%s missing policy rows:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short")
+	}
+	for _, id := range []string{"ablation-pipecap", "ablation-quantum", "ablation-netcontention"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	e, _ := ByID("fig9")
+	opt := tinyOptions()
+	opt.CSV = true
+	var buf bytes.Buffer
+	if err := e.Run(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes,CF,BF(32)") {
+		t.Fatalf("CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var o Options
+	n := o.normalized()
+	if n.DurationUS <= 0 || n.Reps < 1 || n.TestbedDuration <= 0 || n.Seed == 0 {
+		t.Fatalf("normalized zero options invalid: %+v", n)
+	}
+	if Paper().Reps != 50 {
+		t.Fatal("paper scale should use 50 replications")
+	}
+	if Default().Reps < 1 {
+		t.Fatal("default reps")
+	}
+}

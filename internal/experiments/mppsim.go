@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/report"
+)
+
+func init() {
+	register("table6", "MPP: 2^4·r factorial simulation results", runTable6)
+	register("fig25", "MPP: allocation of variation", runFig25)
+	register("fig26", "MPP: four metrics over sampling period, direct vs tree (256 nodes)", runFig26)
+	register("fig27", "MPP: four metrics over number of nodes, direct vs tree", runFig27)
+	register("fig28", "MPP: effect of barrier-operation frequency (256 nodes)", runFig28)
+}
+
+// mppFactorialRows builds the Table 6 design: A = nodes (2/256),
+// B = sampling period (5/50 ms), C = policy (batch 1/128), D = network
+// configuration (direct/tree).
+func mppFactorialRows() ([]string, []factorialRow) {
+	factors := []string{"nodes", "sampling period", "forwarding policy", "network configuration"}
+	levels := [][2]float64{{2, 256}, {5000, 50000}, {1, 128}, {0, 1}}
+	var rows []factorialRow
+	for i := 0; i < 16; i++ {
+		pick := func(f int) float64 { return levels[f][i>>f&1] }
+		cfg := core.DefaultConfig()
+		cfg.Arch = core.MPP
+		cfg.Nodes = int(pick(0))
+		cfg.SamplingPeriod = pick(1)
+		if pick(2) > 1 {
+			cfg.Policy = forward.BF
+			cfg.BatchSize = int(pick(2))
+		}
+		fwd := forward.Direct
+		if pick(3) > 0 {
+			fwd = forward.Tree
+		}
+		cfg.Forwarding = fwd
+		rows = append(rows, factorialRow{
+			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, fwd),
+			cfg:   cfg,
+		})
+	}
+	return factors, rows
+}
+
+func runTable6(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	_, rows := mppFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 6: MPP simulation results",
+		"configuration", "Pd CPU time/node (sec)", "±", "latency/sample (msec)", "±")
+	for i, row := range rows {
+		ovCI := ciOf(ov[i])
+		latCI := ciOf(lat[i])
+		t.AddRow(row.label,
+			report.F(ovCI.Mean), report.F(ovCI.HalfWidth),
+			report.F(latCI.Mean*1000), report.F(latCI.HalfWidth*1000))
+	}
+	return t.Render(w)
+}
+
+func runFig25(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	factors, rows := mppFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	return renderAllocation(w, "Figure 25 (MPP)", factors, "Pd CPU time", ov, lat)
+}
+
+// mppVariants builds direct / tree / uninstrumented series.
+func mppVariants(nodes int, modify func(cfg *core.Config, x float64)) []simVariant {
+	mk := func(fwd forward.Config, sampling bool) func(float64) core.Config {
+		return func(x float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Arch = core.MPP
+			cfg.Nodes = nodes
+			cfg.Policy = forward.BF
+			cfg.BatchSize = 32
+			cfg.SamplingPeriod = 40000
+			cfg.Forwarding = fwd
+			modify(&cfg, x)
+			if !sampling {
+				cfg.SamplingPeriod = 0
+				cfg.Forwarding = forward.Direct
+			}
+			return cfg
+		}
+	}
+	return []simVariant{
+		{"direct", mk(forward.Direct, true)},
+		{"tree", mk(forward.Tree, true)},
+		{"uninstrumented", mk(forward.Direct, false)},
+	}
+}
+
+func runFig26(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	return simSweep(w, opt, "Figure 26: MPP, 256 nodes, BF", "sampling_period_ms",
+		[]float64{1, 2, 4, 8, 16, 32, 64},
+		mppVariants(256, func(cfg *core.Config, x float64) {
+			if cfg.SamplingPeriod > 0 {
+				cfg.SamplingPeriod = x * 1000
+			}
+		}))
+}
+
+func runFig27(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	return simSweep(w, opt, "Figure 27: MPP, SP = 40 ms, BF", "nodes",
+		[]float64{2, 4, 8, 16, 32, 64, 128, 256},
+		mppVariants(0, func(cfg *core.Config, x float64) { cfg.Nodes = int(x) }))
+}
+
+func runFig28(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	// Barrier period in msec, logarithmic axis as in the paper.
+	periods := []float64{0.1, 1, 10, 100, 1000, 10000}
+	if err := simSweep(w, opt, "Figure 28: MPP, 256 nodes, SP = 40 ms, BF", "barrier_period_ms",
+		periods,
+		mppVariants(256, func(cfg *core.Config, x float64) { cfg.BarrierPeriod = x * 1000 })); err != nil {
+		return err
+	}
+	// Supplementary panel at a contention-limited operating point (CF,
+	// 5 ms sampling): here the daemon competes with the application for
+	// the CPU, so frequent barriers — which idle the application — make
+	// the daemon's work complete sooner, the §4.4.3 mechanism.
+	return simSweep(w, opt, "Figure 28 (supplement): CF, 4 procs/node, SP = 1 ms — contention-limited daemon",
+		"barrier_period_ms", periods,
+		[]simVariant{{"direct-CF", func(x float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Arch = core.MPP
+			cfg.Nodes = 16
+			cfg.AppProcs = 4
+			cfg.SamplingPeriod = 1000
+			cfg.PipeCapacity = 16
+			cfg.BarrierPeriod = x * 1000
+			return cfg
+		}}})
+}

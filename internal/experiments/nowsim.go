@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/report"
+	"rocc/internal/stats"
+)
+
+func init() {
+	register("table4", "NOW: 2^4·r factorial simulation results", runTable4)
+	register("fig16", "NOW: allocation of variation (principal factors)", runFig16)
+	register("fig17", "NOW local: Pd CPU time and forwarding throughput, CF vs BF", runFig17)
+	register("fig18", "NOW global: four metrics over nodes and sampling period, CF vs BF", runFig18)
+	register("fig19", "NOW: batch-size sweep (knee of the latency curve)", runFig19)
+}
+
+// nowFactorialRows builds the Table 4 design in doe standard order:
+// factor A = number of nodes (5/50), B = sampling period (2/32 ms),
+// C = forwarding policy (batch 1/128), D = application type.
+func nowFactorialRows() ([]string, []factorialRow) {
+	factors := []string{"nodes", "sampling period", "forwarding policy", "application type"}
+	levels := [][2]float64{{5, 50}, {2000, 32000}, {1, 128}, {0, 1}}
+	var rows []factorialRow
+	for i := 0; i < 16; i++ {
+		pick := func(f int) float64 { return levels[f][i>>f&1] }
+		cfg := core.DefaultConfig()
+		cfg.Arch = core.NOW
+		cfg.Nodes = int(pick(0))
+		cfg.SamplingPeriod = pick(1)
+		if pick(2) > 1 {
+			cfg.Policy = forward.BF
+			cfg.BatchSize = int(pick(2))
+		}
+		app := core.ComputeIntensive
+		if pick(3) > 0 {
+			app = core.CommIntensive
+		}
+		cfg.Workload = app.Apply(core.DefaultWorkload())
+		rows = append(rows, factorialRow{
+			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, app),
+			cfg:   cfg,
+		})
+	}
+	return factors, rows
+}
+
+func runTable4(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	_, rows := nowFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 4: NOW simulation results (means of r replications, 90% CI half-widths)",
+		"configuration", "Pd CPU time/node (sec)", "±", "latency/sample (msec)", "±")
+	for i, row := range rows {
+		ovCI := ciOf(ov[i])
+		latCI := ciOf(lat[i])
+		t.AddRow(row.label,
+			report.F(ovCI.Mean), report.F(ovCI.HalfWidth),
+			report.F(latCI.Mean*1000), report.F(latCI.HalfWidth*1000))
+	}
+	return t.Render(w)
+}
+
+func ciOf(xs []float64) stats.ConfidenceInterval {
+	if len(xs) < 2 {
+		return stats.ConfidenceInterval{Mean: stats.MeanOf(xs)}
+	}
+	ci, err := stats.MeanCI(xs, 0.90)
+	if err != nil {
+		return stats.ConfidenceInterval{Mean: stats.MeanOf(xs)}
+	}
+	return ci
+}
+
+func runFig16(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	factors, rows := nowFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	return renderAllocation(w, "Figure 16 (NOW)", factors, "Pd CPU time", ov, lat)
+}
+
+func runFig17(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	localVariants := func(procs int, sp float64) []simVariant {
+		mk := func(policy forward.Policy, batch int) func(float64) core.Config {
+			return func(x float64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.Nodes = 1 // local level of detail: a single node
+				cfg.Policy = policy
+				cfg.BatchSize = batch
+				if procs < 0 { // x is the process count
+					cfg.AppProcs = int(x)
+					cfg.SamplingPeriod = sp
+				} else { // x is the sampling period in ms
+					cfg.AppProcs = procs
+					cfg.SamplingPeriod = x * 1000
+				}
+				return cfg
+			}
+		}
+		return []simVariant{
+			{"CF", mk(forward.CF, 1)},
+			{"BF(32)", mk(forward.BF, 32)},
+		}
+	}
+	panels := []struct {
+		title  string
+		xlabel string
+		xs     []float64
+		vs     []simVariant
+	}{
+		{"Figure 17(a): 8 application processes", "sampling_period_ms",
+			[]float64{5, 10, 20, 30, 40, 50}, localVariants(8, 0)},
+		{"Figure 17(b): sampling period = 40 ms", "app_processes",
+			[]float64{1, 2, 4, 8, 16, 32}, localVariants(-1, 40000)},
+	}
+	metrics := []struct {
+		name string
+		get  core.Metric
+	}{
+		{"CPU time (sec)", core.MetricPdCPUTime},
+		{"Throughput (samples/sec)", core.MetricPdThroughput},
+	}
+	for _, p := range panels {
+		results := make([][]core.Result, len(p.vs))
+		for vi, v := range p.vs {
+			results[vi] = make([]core.Result, len(p.xs))
+			for xi, x := range p.xs {
+				res, err := runOne(v.cfg(x), opt)
+				if err != nil {
+					return err
+				}
+				results[vi][xi] = res
+			}
+		}
+		for _, metric := range metrics {
+			fig := report.NewFigure(p.title, p.xlabel, metric.name, p.xs)
+			for vi, v := range p.vs {
+				ys := make([]float64, len(p.xs))
+				for xi := range p.xs {
+					ys[xi] = metric.get(results[vi][xi])
+				}
+				if err := fig.Add(v.name, ys); err != nil {
+					return err
+				}
+			}
+			if err := renderFigure(w, opt, fig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// nowGlobalVariants builds the CF / BF / uninstrumented series.
+func nowGlobalVariants(modify func(cfg *core.Config, x float64)) []simVariant {
+	mk := func(policy forward.Policy, batch int, sp float64) func(float64) core.Config {
+		return func(x float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Policy = policy
+			cfg.BatchSize = batch
+			cfg.SamplingPeriod = sp
+			modify(&cfg, x)
+			return cfg
+		}
+	}
+	return []simVariant{
+		{"CF", mk(forward.CF, 1, 40000)},
+		{"BF(32)", mk(forward.BF, 32, 40000)},
+		{"uninstrumented", func(x float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.SamplingPeriod = 0
+			modify(&cfg, x)
+			cfg.SamplingPeriod = 0
+			return cfg
+		}},
+	}
+}
+
+func runFig18(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	if err := simSweep(w, opt, "Figure 18(a): sampling period = 40 ms", "nodes",
+		[]float64{2, 4, 8, 16, 32},
+		nowGlobalVariants(func(cfg *core.Config, x float64) { cfg.Nodes = int(x) })); err != nil {
+		return err
+	}
+	return simSweep(w, opt, "Figure 18(b): number of nodes = 8", "sampling_period_ms",
+		[]float64{1, 2, 4, 8, 16, 32, 64},
+		nowGlobalVariants(func(cfg *core.Config, x float64) {
+			if cfg.SamplingPeriod > 0 {
+				cfg.SamplingPeriod = x * 1000
+			}
+		}))
+}
+
+func runFig19(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	batches := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	mk := func(spMS float64) func(float64) core.Config {
+		return func(b float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.SamplingPeriod = spMS * 1000
+			if b > 1 {
+				cfg.Policy = forward.BF
+				cfg.BatchSize = int(b)
+			}
+			return cfg
+		}
+	}
+	return simSweep(w, opt, "Figure 19: batch-size sweep (8 nodes)", "batch_size", batches,
+		[]simVariant{
+			{"SP=1ms", mk(1)},
+			{"SP=40ms", mk(40)},
+			{"SP=64ms", mk(64)},
+		})
+}

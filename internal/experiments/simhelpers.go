@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+	"rocc/internal/doe"
+	"rocc/internal/report"
+)
+
+// simMetrics are the four panels of the simulation figures (18, 19, 22-24,
+// 26-28).
+var simMetrics = []struct {
+	name string
+	get  core.Metric
+}{
+	{"Pd CPU utilization/node (%)", core.MetricPdCPUUtil},
+	{"Paradyn CPU utilization (%)", core.MetricMainCPUUtil},
+	{"Appl. CPU utilization/node (%)", core.MetricAppCPUUtil},
+	{"Monitoring latency/samp. (sec)", core.MetricLatency},
+}
+
+// simVariant is one line of a simulation figure.
+type simVariant struct {
+	name string
+	cfg  func(x float64) core.Config
+}
+
+// runOne runs a single replication of cfg at the option scale.
+func runOne(cfg core.Config, opt Options) (core.Result, error) {
+	cfg.Duration = opt.DurationUS
+	if cfg.Seed == 0 {
+		cfg.Seed = opt.Seed
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return m.Run(), nil
+}
+
+// simSweep renders one figure per metric across the x values and variants
+// (single replication per point; the factorial tables carry the
+// replicated, CI-bearing runs).
+func simSweep(w io.Writer, opt Options, title, xlabel string, xs []float64, variants []simVariant) error {
+	// Cache runs: every metric reuses the same simulations.
+	results := make([][]core.Result, len(variants))
+	for vi, v := range variants {
+		results[vi] = make([]core.Result, len(xs))
+		for xi, x := range xs {
+			res, err := runOne(v.cfg(x), opt)
+			if err != nil {
+				return fmt.Errorf("%s @ %v: %w", v.name, x, err)
+			}
+			results[vi][xi] = res
+		}
+	}
+	for _, metric := range simMetrics {
+		fig := report.NewFigure(title, xlabel, metric.name, xs)
+		for vi, v := range variants {
+			ys := make([]float64, len(xs))
+			for xi := range xs {
+				ys[xi] = metric.get(results[vi][xi])
+			}
+			if err := fig.Add(v.name, ys); err != nil {
+				return err
+			}
+		}
+		if err := renderFigure(w, opt, fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// factorialRow is one run of a 2^k design.
+type factorialRow struct {
+	label string
+	cfg   core.Config
+}
+
+// runFactorial executes the 2^k·r design and returns, per row, the
+// replicate values of the two reported metrics (direct overhead and
+// monitoring latency), in the standard order expected by doe.Analyze2KR.
+func runFactorial(rows []factorialRow, opt Options, overhead, latency core.Metric) (ov, lat [][]float64, err error) {
+	ov = make([][]float64, len(rows))
+	lat = make([][]float64, len(rows))
+	for i, row := range rows {
+		cfg := row.cfg
+		cfg.Duration = opt.DurationUS
+		cfg.Seed = opt.Seed + uint64(i)*7919
+		rep, err := core.RunReplications(cfg, opt.Reps)
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %s: %w", row.label, err)
+		}
+		for _, r := range rep.Results {
+			ov[i] = append(ov[i], overhead(r))
+			lat[i] = append(lat[i], latency(r))
+		}
+	}
+	return ov, lat, nil
+}
+
+// renderAllocation prints the allocation-of-variation chart data (the
+// pie-chart percentages of Figures 16, 20, and 25).
+func renderAllocation(w io.Writer, title string, factorNames []string, overheadName string,
+	ov, lat [][]float64) error {
+	for _, part := range []struct {
+		metric string
+		data   [][]float64
+	}{
+		{"monitoring latency", lat},
+		{overheadName, ov},
+	} {
+		an, err := doe.Analyze2KR(factorNames, part.data)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("%s — variation explained for %s", title, part.metric),
+			"term", "fraction")
+		for _, e := range an.TopEffects(6) {
+			t.AddRow(e.Term, report.Pct(e.Fraction*100))
+		}
+		t.AddRow("error/rest", report.Pct(an.ErrorFraction*100))
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "factors: %s\n", factorLegend(factorNames)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func factorLegend(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%c=%s", 'A'+i, n)
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/report"
+)
+
+func init() {
+	register("table5", "SMP: 2^4·r factorial simulation results", runTable5)
+	register("fig20", "SMP: allocation of variation", runFig20)
+	register("fig21", "SMP: daemon throughput vs CPUs, 1-4 daemons, CF vs BF", runFig21)
+	register("fig22", "SMP: four metrics over number of nodes, 1-4 daemons", runFig22)
+	register("fig23", "SMP: four metrics over sampling period, 1-4 daemons", runFig23)
+	register("fig24", "SMP: four metrics over number of application processes, 1-4 daemons", runFig24)
+}
+
+// smpFactorialRows builds the Table 5 design: A = nodes (= app processes,
+// 5/50), B = sampling period (1/32 ms), C = policy (batch 1/128), D = app
+// type.
+func smpFactorialRows() ([]string, []factorialRow) {
+	factors := []string{"nodes", "sampling period", "forwarding policy", "application type"}
+	levels := [][2]float64{{5, 50}, {1000, 32000}, {1, 128}, {0, 1}}
+	var rows []factorialRow
+	for i := 0; i < 16; i++ {
+		pick := func(f int) float64 { return levels[f][i>>f&1] }
+		cfg := core.DefaultConfig()
+		cfg.Arch = core.SMP
+		cfg.Nodes = int(pick(0))
+		cfg.AppProcs = cfg.Nodes // paper: #app processes = #nodes
+		cfg.SamplingPeriod = pick(1)
+		if pick(2) > 1 {
+			cfg.Policy = forward.BF
+			cfg.BatchSize = int(pick(2))
+		}
+		app := core.ComputeIntensive
+		if pick(3) > 0 {
+			app = core.CommIntensive
+		}
+		cfg.Workload = app.Apply(core.DefaultWorkload())
+		rows = append(rows, factorialRow{
+			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, app),
+			cfg:   cfg,
+		})
+	}
+	return factors, rows
+}
+
+func runTable5(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	_, rows := smpFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 5: SMP simulation results (number of app processes = number of nodes)",
+		"configuration", "IS CPU time/node (sec)", "±", "latency/sample (msec)", "±")
+	for i, row := range rows {
+		ovCI := ciOf(ov[i])
+		latCI := ciOf(lat[i])
+		t.AddRow(row.label,
+			report.F(ovCI.Mean), report.F(ovCI.HalfWidth),
+			report.F(latCI.Mean*1000), report.F(latCI.HalfWidth*1000))
+	}
+	return t.Render(w)
+}
+
+func runFig20(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	factors, rows := smpFactorialRows()
+	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		return err
+	}
+	return renderAllocation(w, "Figure 20 (SMP)", factors, "IS CPU time", ov, lat)
+}
+
+func runFig21(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	cpus := []float64{1, 2, 4, 8, 12, 16}
+	variants := func(policy forward.Policy, batch int) []simVariant {
+		var out []simVariant
+		for pds := 1; pds <= 4; pds++ {
+			pds := pds
+			out = append(out, simVariant{
+				name: smpName(pds),
+				cfg: func(x float64) core.Config {
+					cfg := core.DefaultConfig()
+					cfg.Arch = core.SMP
+					cfg.Nodes = int(x)
+					cfg.AppProcs = int(x)
+					if pds > cfg.AppProcs {
+						// Cannot have more daemons than pipes; clamp like
+						// the paper's setup (extra daemons would idle).
+						cfg.Pds = cfg.AppProcs
+					} else {
+						cfg.Pds = pds
+					}
+					cfg.Policy = policy
+					cfg.BatchSize = batch
+					cfg.SamplingPeriod = 40000
+					return cfg
+				},
+			})
+		}
+		return out
+	}
+	panels := []struct {
+		title string
+		vs    []simVariant
+	}{
+		{"Figure 21(a): CF policy (SP = 40 ms)", variants(forward.CF, 1)},
+		{"Figure 21(b): BF policy (batch = 32)", variants(forward.BF, 32)},
+	}
+	for _, p := range panels {
+		fig := report.NewFigure(p.title, "cpus", "Throughput_pd (samples/sec)", cpus)
+		for _, v := range p.vs {
+			ys := make([]float64, len(cpus))
+			for xi, x := range cpus {
+				res, err := runOne(v.cfg(x), opt)
+				if err != nil {
+					return err
+				}
+				ys[xi] = res.PdThroughputPerSec
+			}
+			if err := fig.Add(v.name, ys); err != nil {
+				return err
+			}
+		}
+		if err := renderFigure(w, opt, fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// smpSimVariants builds the 1-4 daemon series plus an uninstrumented
+// baseline for one SMP panel.
+func smpSimVariants(policy forward.Policy, batch int, modify func(cfg *core.Config, x float64)) []simVariant {
+	var out []simVariant
+	for pds := 1; pds <= 4; pds++ {
+		pds := pds
+		out = append(out, simVariant{
+			name: smpName(pds),
+			cfg: func(x float64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.Arch = core.SMP
+				cfg.Nodes = 16
+				cfg.AppProcs = 32
+				cfg.Pds = pds
+				cfg.Policy = policy
+				cfg.BatchSize = batch
+				cfg.SamplingPeriod = 40000
+				modify(&cfg, x)
+				return cfg
+			},
+		})
+	}
+	out = append(out, simVariant{
+		name: "uninstrumented",
+		cfg: func(x float64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Arch = core.SMP
+			cfg.Nodes = 16
+			cfg.AppProcs = 32
+			cfg.SamplingPeriod = 40000
+			modify(&cfg, x)
+			cfg.SamplingPeriod = 0
+			return cfg
+		},
+	})
+	return out
+}
+
+// smpPanelPair renders the CF and BF versions of one SMP figure.
+func smpPanelPair(w io.Writer, opt Options, figName, xlabel string, xs []float64,
+	modify func(cfg *core.Config, x float64)) error {
+	if err := simSweep(w, opt, figName+"(a): CF policy", xlabel, xs,
+		smpSimVariants(forward.CF, 1, modify)); err != nil {
+		return err
+	}
+	return simSweep(w, opt, figName+"(b): BF policy (batch 32)", xlabel, xs,
+		smpSimVariants(forward.BF, 32, modify))
+}
+
+func runFig22(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	return smpPanelPair(w, opt, "Figure 22", "nodes",
+		[]float64{2, 4, 8, 16, 32},
+		func(cfg *core.Config, x float64) { cfg.Nodes = int(x) })
+}
+
+func runFig23(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	return smpPanelPair(w, opt, "Figure 23", "sampling_period_ms",
+		[]float64{1, 2, 5, 10, 20, 40, 64},
+		func(cfg *core.Config, x float64) {
+			if cfg.SamplingPeriod > 0 {
+				cfg.SamplingPeriod = x * 1000
+			}
+		})
+}
+
+func runFig24(w io.Writer, opt Options) error {
+	opt = opt.normalized()
+	return smpPanelPair(w, opt, "Figure 24", "app_processes",
+		[]float64{4, 8, 16, 32, 64},
+		func(cfg *core.Config, x float64) { cfg.AppProcs = int(x) })
+}

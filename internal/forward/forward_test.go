@@ -1,0 +1,148 @@
+package forward
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func TestPolicyAndConfigStrings(t *testing.T) {
+	if CF.String() != "CF" || BF.String() != "BF" {
+		t.Fatal("policy strings")
+	}
+	if Direct.String() != "direct" || Tree.String() != "tree" {
+		t.Fatal("config strings")
+	}
+	if Policy(9).String() == "" || Config(9).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+func TestCostModelScalesWithBatch(t *testing.T) {
+	cm := CostModel{
+		PerMsgCPU:    rng.Constant{Value: 267},
+		PerSampleCPU: 8,
+		PerMsgNet:    rng.Constant{Value: 71},
+		PerSampleNet: 2,
+		Merge:        rng.Constant{Value: 100},
+	}
+	r := rng.New(1)
+	if got := cm.MsgCPU(r, 1); got != 267 {
+		t.Fatalf("single-sample CPU %v", got)
+	}
+	if got := cm.MsgCPU(r, 32); got != 267+8*31 {
+		t.Fatalf("batch CPU %v", got)
+	}
+	if got := cm.MsgNet(r, 32); got != 71+2*31 {
+		t.Fatalf("batch net %v", got)
+	}
+	if cm.MsgCPU(r, 0) != 0 || cm.MsgNet(r, 0) != 0 {
+		t.Fatal("empty message should cost nothing")
+	}
+	if cm.MergeCPU(r) != 100 {
+		t.Fatal("merge cost")
+	}
+	// The amortization that motivates BF: per-sample CPU at batch 128 is a
+	// small fraction of the CF per-sample cost.
+	perSampleBF := cm.MsgCPU(r, 128) / 128
+	if perSampleBF > 0.05*267 {
+		t.Fatalf("BF per-sample cost %v not well below CF 267", perSampleBF)
+	}
+}
+
+func TestDefaultCostModelMeans(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.PerMsgCPU.Mean() != 267 || cm.PerMsgNet.Mean() != 71 {
+		t.Fatal("Table 2 means wrong")
+	}
+}
+
+func TestDirectTopology(t *testing.T) {
+	top := NewTopology(Direct, 8)
+	for node := 0; node < 8; node++ {
+		if _, toMain := top.Next(node); !toMain {
+			t.Fatalf("direct: node %d not sent to main", node)
+		}
+		if len(top.Children(node)) != 0 {
+			t.Fatalf("direct: node %d has children", node)
+		}
+	}
+}
+
+func TestTreeTopologyStructure(t *testing.T) {
+	top := NewTopology(Tree, 7).(TreeTopology)
+	if _, toMain := top.Next(0); !toMain {
+		t.Fatal("root must forward to main")
+	}
+	cases := []struct{ node, parent int }{
+		{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {6, 2},
+	}
+	for _, c := range cases {
+		p, toMain := top.Next(c.node)
+		if toMain || p != c.parent {
+			t.Fatalf("parent of %d = %d (toMain=%v), want %d", c.node, p, toMain, c.parent)
+		}
+	}
+	if ch := top.Children(0); len(ch) != 2 || ch[0] != 1 || ch[1] != 2 {
+		t.Fatalf("children of root: %v", ch)
+	}
+	if ch := top.Children(3); len(ch) != 0 {
+		t.Fatalf("leaf has children: %v", ch)
+	}
+	if top.Depth(0) != 1 || top.Depth(1) != 2 || top.Depth(6) != 3 {
+		t.Fatal("depth calculation wrong")
+	}
+}
+
+func TestTreeTopologyPartialLevel(t *testing.T) {
+	top := TreeTopology{Nodes: 6}
+	if ch := top.Children(2); len(ch) != 1 || ch[0] != 5 {
+		t.Fatalf("children of 2 in 6-node tree: %v", ch)
+	}
+}
+
+// Property: in any tree, following Next from every node terminates at the
+// main process within Depth hops, and parent/child relations agree.
+func TestQuickTreeReachesMain(t *testing.T) {
+	f := func(n uint8) bool {
+		nodes := int(n)%255 + 1
+		top := TreeTopology{Nodes: nodes}
+		for node := 0; node < nodes; node++ {
+			cur, hops := node, 0
+			for {
+				next, toMain := top.Next(cur)
+				hops++
+				if toMain {
+					break
+				}
+				if next < 0 || next >= nodes || next >= cur {
+					return false // parent must be a smaller index
+				}
+				cur = next
+				if hops > nodes {
+					return false // cycle
+				}
+			}
+			if hops != top.Depth(node) {
+				return false
+			}
+			// Parent agreement: node appears among its parent's children.
+			if parent, toMain := top.Next(node); !toMain {
+				found := false
+				for _, c := range top.Children(parent) {
+					if c == node {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"rocc/internal/rng"
+)
+
+// blockSize is the NAS BT block dimension: the systems are block
+// tridiagonal with 5x5 blocks.
+const blockSize = 5
+
+// block is a dense 5x5 matrix.
+type block [blockSize][blockSize]float64
+
+// vec5 is a length-5 vector.
+type vec5 [blockSize]float64
+
+// BT is a simplified pvmbt: each Step assembles and solves three sets of
+// uncoupled block-tridiagonal systems — first in the x, then the y, then
+// the z direction (the structure described in §5.2 of the paper) — over an
+// n x n x n grid of 5-vectors.
+type BT struct {
+	n    int
+	grid [][][]vec5 // solution state, updated every sweep
+	r    *rng.Stream
+	ops  int64
+
+	// lastResidual records the verification residual of the most recent
+	// line solve, updated during Step.
+	lastResidual float64
+}
+
+// NewBT creates a BT kernel on an n^3 grid (n >= 2).
+func NewBT(n int, seed uint64) (*BT, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("nas: BT grid size %d too small", n)
+	}
+	b := &BT{n: n, r: rng.New(seed)}
+	b.grid = make([][][]vec5, n)
+	for i := range b.grid {
+		b.grid[i] = make([][]vec5, n)
+		for j := range b.grid[i] {
+			b.grid[i][j] = make([]vec5, n)
+			for k := range b.grid[i][j] {
+				for c := 0; c < blockSize; c++ {
+					b.grid[i][j][k][c] = b.r.Uniform(0, 1)
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// Name implements Kernel.
+func (b *BT) Name() string { return "bt" }
+
+// Ops implements Kernel.
+func (b *BT) Ops() int64 { return b.ops }
+
+// Step performs one ADI-style sweep: for every line of the grid in each of
+// the three directions, assemble a diagonally dominant block-tridiagonal
+// system whose right-hand side is the current line state, solve it with
+// the Thomas algorithm on 5x5 blocks, and write the solution back.
+func (b *BT) Step() {
+	n := b.n
+	line := make([]vec5, n)
+	for dir := 0; dir < 3; dir++ {
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				// Gather the line.
+				for s := 0; s < n; s++ {
+					line[s] = b.at(dir, p, q, s)
+				}
+				sol := b.solveLine(line)
+				for s := 0; s < n; s++ {
+					b.set(dir, p, q, s, sol[s])
+				}
+			}
+		}
+	}
+}
+
+// at reads grid cell (p, q, s) where s runs along direction dir.
+func (b *BT) at(dir, p, q, s int) vec5 {
+	switch dir {
+	case 0:
+		return b.grid[s][p][q]
+	case 1:
+		return b.grid[p][s][q]
+	default:
+		return b.grid[p][q][s]
+	}
+}
+
+func (b *BT) set(dir, p, q, s int, v vec5) {
+	switch dir {
+	case 0:
+		b.grid[s][p][q] = v
+	case 1:
+		b.grid[p][s][q] = v
+	default:
+		b.grid[p][q][s] = v
+	}
+}
+
+// systemCoeffs builds the constant diagonally dominant block stencil
+// (sub, diag, super) used for every line solve.
+func systemCoeffs() (sub, diag, super block) {
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			sub[i][j] = -0.1 / float64(1+abs(i-j))
+			super[i][j] = -0.15 / float64(1+abs(i-j))
+			diag[i][j] = 0.05 / float64(1+abs(i-j))
+		}
+		diag[i][i] = 4 // dominance keeps the Thomas algorithm stable
+	}
+	return sub, diag, super
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// solveLine solves the block-tridiagonal system A x = rhs with the block
+// Thomas algorithm (forward elimination, back substitution) and records
+// the residual for Verify.
+func (b *BT) solveLine(rhs []vec5) []vec5 {
+	n := len(rhs)
+	sub, diag, super := systemCoeffs()
+
+	cPrime := make([]block, n)
+	dPrime := make([]vec5, n)
+
+	den := diag
+	denInv, ok := invert(den)
+	if !ok {
+		panic("nas: singular diagonal block")
+	}
+	cPrime[0] = mul(denInv, super)
+	dPrime[0] = mulVec(denInv, rhs[0])
+	for i := 1; i < n; i++ {
+		den = subBlock(diag, mul(sub, cPrime[i-1]))
+		denInv, ok = invert(den)
+		if !ok {
+			panic("nas: singular elimination block")
+		}
+		if i < n-1 {
+			cPrime[i] = mul(denInv, super)
+		}
+		dPrime[i] = mulVec(denInv, subVec(rhs[i], mulVec(sub, dPrime[i-1])))
+	}
+	x := make([]vec5, n)
+	x[n-1] = dPrime[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = subVec(dPrime[i], mulVec(cPrime[i], x[i+1]))
+	}
+	b.ops += int64(n * blockSize * blockSize * blockSize)
+
+	// Residual check of the first equation: diag*x0 + super*x1 = rhs0.
+	res := subVec(rhs[0], addVec(mulVec(diag, x[0]), mulVec(super, x[1])))
+	b.lastResidual = norm(res)
+	return x
+}
+
+// Verify implements Kernel: the most recent line solve must satisfy its
+// first block equation to near machine precision, and the grid must be
+// finite.
+func (b *BT) Verify() error {
+	if b.lastResidual > 1e-8 {
+		return fmt.Errorf("nas: BT residual %g exceeds tolerance", b.lastResidual)
+	}
+	for i := range b.grid {
+		for j := range b.grid[i] {
+			for k := range b.grid[i][j] {
+				for c := 0; c < blockSize; c++ {
+					if v := b.grid[i][j][k][c]; math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Errorf("nas: BT grid cell (%d,%d,%d,%d) is %v", i, j, k, c, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- 5x5 block arithmetic ---
+
+func mul(a, b block) block {
+	var out block
+	for i := 0; i < blockSize; i++ {
+		for k := 0; k < blockSize; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < blockSize; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+func mulVec(a block, v vec5) vec5 {
+	var out vec5
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			out[i] += a[i][j] * v[j]
+		}
+	}
+	return out
+}
+
+func subBlock(a, b block) block {
+	var out block
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = a[i][j] - b[i][j]
+		}
+	}
+	return out
+}
+
+func subVec(a, b vec5) vec5 {
+	var out vec5
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+func addVec(a, b vec5) vec5 {
+	var out vec5
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func norm(v vec5) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// invert computes the inverse of a 5x5 block by Gauss-Jordan elimination
+// with partial pivoting; ok is false for a singular block.
+func invert(a block) (block, bool) {
+	var aug [blockSize][2 * blockSize]float64
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			aug[i][j] = a[i][j]
+		}
+		aug[i][blockSize+i] = 1
+	}
+	for col := 0; col < blockSize; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < blockSize; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-14 {
+			return block{}, false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := 1 / aug[col][col]
+		for j := 0; j < 2*blockSize; j++ {
+			aug[col][j] *= inv
+		}
+		for r := 0; r < blockSize; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*blockSize; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	var out block
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			out[i][j] = aug[i][blockSize+j]
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,119 @@
+package nas
+
+import (
+	"fmt"
+
+	"rocc/internal/rng"
+)
+
+// IS is a simplified pvmis: each Step generates a fresh batch of integer
+// keys with the NAS IS near-Gaussian key distribution (the average of four
+// uniforms), computes every key's rank by counting sort, and partially
+// verifies the ranking.
+type IS struct {
+	n      int
+	maxKey int
+	r      *rng.Stream
+	keys   []int
+	ranks  []int
+	counts []int
+	ops    int64
+
+	verified bool
+	lastErr  error
+}
+
+// NewIS creates an IS kernel ranking n keys in [0, maxKey).
+func NewIS(n, maxKey int, seed uint64) (*IS, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("nas: IS needs n >= 2, got %d", n)
+	}
+	if maxKey < 2 {
+		return nil, fmt.Errorf("nas: IS needs maxKey >= 2, got %d", maxKey)
+	}
+	return &IS{
+		n:      n,
+		maxKey: maxKey,
+		r:      rng.New(seed),
+		keys:   make([]int, n),
+		ranks:  make([]int, n),
+		counts: make([]int, maxKey),
+	}, nil
+}
+
+// Name implements Kernel.
+func (s *IS) Name() string { return "is" }
+
+// Ops implements Kernel.
+func (s *IS) Ops() int64 { return s.ops }
+
+// Step implements Kernel.
+func (s *IS) Step() {
+	// Key generation: average of four uniforms, as in NAS IS.
+	for i := range s.keys {
+		k := (s.r.Intn(s.maxKey) + s.r.Intn(s.maxKey) + s.r.Intn(s.maxKey) + s.r.Intn(s.maxKey)) / 4
+		s.keys[i] = k
+	}
+	// Counting sort ranking.
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	for _, k := range s.keys {
+		s.counts[k]++
+	}
+	// Prefix sum: counts[k] = number of keys < k.
+	prev := 0
+	for k := 0; k < s.maxKey; k++ {
+		c := s.counts[k]
+		s.counts[k] = prev
+		prev += c
+	}
+	for i, k := range s.keys {
+		s.ranks[i] = s.counts[k]
+		s.counts[k]++
+	}
+	s.ops += int64(s.n + s.maxKey)
+	s.verified = false
+	s.lastErr = nil
+}
+
+// Verify implements Kernel: ranks must be a permutation of 0..n-1 and
+// consistent with key ordering.
+func (s *IS) Verify() error {
+	if s.verified {
+		return s.lastErr
+	}
+	s.verified = true
+	seen := make([]bool, s.n)
+	for i, rk := range s.ranks {
+		if rk < 0 || rk >= s.n || seen[rk] {
+			s.lastErr = fmt.Errorf("nas: IS rank %d of key %d invalid or duplicated", rk, i)
+			return s.lastErr
+		}
+		seen[rk] = true
+	}
+	// Spot-check ordering: key with smaller value must have smaller rank.
+	stride := s.n / 16
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 1; i < s.n; i += stride {
+		a, b := s.keys[i-1], s.keys[i]
+		ra, rb := s.ranks[i-1], s.ranks[i]
+		if a < b && ra > rb {
+			s.lastErr = fmt.Errorf("nas: IS rank order violated: key %d<%d but rank %d>%d", a, b, ra, rb)
+			return s.lastErr
+		}
+		if a > b && ra < rb {
+			s.lastErr = fmt.Errorf("nas: IS rank order violated: key %d>%d but rank %d<%d", a, b, ra, rb)
+			return s.lastErr
+		}
+	}
+	return nil
+}
+
+// Ranks exposes the most recent ranking (for tests).
+func (s *IS) Ranks() []int { return s.ranks }
+
+// Keys exposes the most recent key batch (for tests).
+func (s *IS) Keys() []int { return s.keys }

@@ -1,0 +1,24 @@
+// Package nas provides working, small-scale Go implementations of the two
+// NAS Parallel Benchmark kernels the paper's measurement experiments use:
+// BT (pvmbt), which solves block-tridiagonal systems with 5x5 blocks in
+// the x, y, and z directions, and IS (pvmis), an integer-sort kernel.
+//
+// Substitution note (see DESIGN.md): the paper ran the PVM Fortran codes
+// on an IBM SP-2. These kernels perform the same class of real computation
+// (dense 5x5 block LU solves and key ranking) so the measurement testbed
+// in internal/testbed instruments genuine work rather than sleeps; they
+// are not tuned reproductions of the NPB reference outputs.
+package nas
+
+// Kernel is a unit of real application work the testbed can instrument.
+type Kernel interface {
+	// Name returns the benchmark name ("bt" or "is").
+	Name() string
+	// Step performs one iteration of work.
+	Step()
+	// Verify checks internal consistency after any number of steps.
+	Verify() error
+	// Ops returns an operation count since creation, for throughput
+	// normalization.
+	Ops() int64
+}

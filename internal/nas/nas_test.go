@@ -1,0 +1,219 @@
+package nas
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTSolvesAndVerifies(t *testing.T) {
+	b, err := NewBT(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.Step()
+		if err := b.Verify(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if b.Ops() == 0 {
+		t.Fatal("no operations counted")
+	}
+	if b.Name() != "bt" {
+		t.Fatal("name")
+	}
+}
+
+func TestBTLineSolveExact(t *testing.T) {
+	// Construct rhs = A*x for a known x, solve, and compare.
+	b, err := NewBT(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4
+	sub, diag, super := systemCoeffs()
+	want := make([]vec5, n)
+	for i := range want {
+		for c := 0; c < blockSize; c++ {
+			want[i][c] = float64(i*blockSize+c) / 7
+		}
+	}
+	rhs := make([]vec5, n)
+	for i := 0; i < n; i++ {
+		v := mulVec(diag, want[i])
+		if i > 0 {
+			v = addVec(v, mulVec(sub, want[i-1]))
+		}
+		if i < n-1 {
+			v = addVec(v, mulVec(super, want[i+1]))
+		}
+		rhs[i] = v
+	}
+	got := b.solveLine(rhs)
+	for i := range want {
+		for c := 0; c < blockSize; c++ {
+			if math.Abs(got[i][c]-want[i][c]) > 1e-10 {
+				t.Fatalf("x[%d][%d] = %v, want %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+func TestBTTooSmall(t *testing.T) {
+	if _, err := NewBT(1, 1); err == nil {
+		t.Fatal("n=1 should fail")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	// Invert the stencil diagonal block and check A * A^-1 = I.
+	_, diag, _ := systemCoeffs()
+	inv, ok := invert(diag)
+	if !ok {
+		t.Fatal("diagonal block should be invertible")
+	}
+	prod := mul(diag, inv)
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod[i][j]-want) > 1e-12 {
+				t.Fatalf("A*A^-1 [%d][%d] = %v", i, j, prod[i][j])
+			}
+		}
+	}
+	// Singular matrix.
+	var sing block
+	if _, ok := invert(sing); ok {
+		t.Fatal("zero matrix should be singular")
+	}
+}
+
+func TestInvertWithPivoting(t *testing.T) {
+	// A matrix needing row swaps: zero on the leading diagonal.
+	var a block
+	for i := 0; i < blockSize; i++ {
+		a[i][(i+1)%blockSize] = 1 // permutation matrix
+	}
+	inv, ok := invert(a)
+	if !ok {
+		t.Fatal("permutation matrix is invertible")
+	}
+	prod := mul(a, inv)
+	for i := 0; i < blockSize; i++ {
+		if math.Abs(prod[i][i]-1) > 1e-12 {
+			t.Fatalf("pivot inversion failed: %v", prod)
+		}
+	}
+}
+
+func TestISRanksCorrectly(t *testing.T) {
+	s, err := NewIS(1024, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Full check against a reference sort: sorting keys by rank must give
+	// a non-decreasing sequence.
+	keys, ranks := s.Keys(), s.Ranks()
+	byRank := make([]int, len(keys))
+	for i, rk := range ranks {
+		byRank[rk] = keys[i]
+	}
+	if !sort.IntsAreSorted(byRank) {
+		t.Fatal("ranking does not sort the keys")
+	}
+	if s.Name() != "is" || s.Ops() == 0 {
+		t.Fatal("metadata")
+	}
+}
+
+func TestISRepeatedSteps(t *testing.T) {
+	s, err := NewIS(256, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Step()
+		if err := s.Verify(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// Verify twice: cached result.
+		if err := s.Verify(); err != nil {
+			t.Fatal("cached verify differs")
+		}
+	}
+}
+
+func TestISErrors(t *testing.T) {
+	if _, err := NewIS(1, 10, 1); err == nil {
+		t.Fatal("n too small")
+	}
+	if _, err := NewIS(10, 1, 1); err == nil {
+		t.Fatal("maxKey too small")
+	}
+}
+
+// Property: IS ranking is always a valid permutation for any size/seed.
+func TestQuickISPermutation(t *testing.T) {
+	f := func(seed uint64, n16 uint16, mk8 uint8) bool {
+		n := int(n16)%500 + 2
+		mk := int(mk8)%100 + 2
+		s, err := NewIS(n, mk, seed)
+		if err != nil {
+			return false
+		}
+		s.Step()
+		return s.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BT sweeps keep the grid finite and verifiable for random
+// seeds and sizes.
+func TestQuickBTStable(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8)%4 + 2
+		b, err := NewBT(n, seed)
+		if err != nil {
+			return false
+		}
+		b.Step()
+		b.Step()
+		return b.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBTStep(b *testing.B) {
+	bt, err := NewBT(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Step()
+	}
+}
+
+func BenchmarkISStep(b *testing.B) {
+	is, err := NewIS(1<<14, 1<<10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		is.Step()
+	}
+}

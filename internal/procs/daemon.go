@@ -1,0 +1,200 @@
+package procs
+
+import (
+	"rocc/internal/des"
+	"rocc/internal/forward"
+	"rocc/internal/resources"
+	"rocc/internal/rng"
+)
+
+// PdDaemon is a Paradyn daemon: it collects instrumentation samples from
+// the pipes of its local application processes and forwards them toward
+// the main Paradyn process under the CF or BF policy. Under tree
+// forwarding a non-leaf daemon additionally receives, merges, and relays
+// messages from its children.
+//
+// The daemon is a single OS process: it does one piece of CPU work at a
+// time, and every message costs CPU (collection plus the forwarding system
+// call) followed by network occupancy to transmit.
+type PdDaemon struct {
+	Sim *des.Simulator
+	CPU *resources.CPU
+	Net *resources.Network
+	R   *rng.Stream
+
+	Pipes     []*resources.Pipe
+	Policy    forward.Policy
+	BatchSize int
+	Cost      forward.CostModel
+	Node      int
+
+	// Deliver routes a fully transmitted message to its destination (the
+	// parent daemon's Receive or the main process); wired up by the model.
+	Deliver func(msg *forward.Message)
+
+	// FlushTimeout, when positive, forwards a partial batch if the oldest
+	// unforwarded sample has waited this long (microseconds). Zero keeps
+	// the pure count-based BF of the paper's model.
+	FlushTimeout float64
+
+	busy       bool
+	relayQ     []*forward.Message
+	nextPipe   int
+	flushTimer *des.Event
+
+	// Metrics.
+	MessagesForwarded int
+	SamplesForwarded  int // includes relayed samples (counted per hop)
+	SamplesCollected  int // distinct samples drained from local pipes
+	MessagesMerged    int
+}
+
+// ResetAccounting clears the daemon's metric counters; used for warmup
+// (initial-transient) removal.
+func (d *PdDaemon) ResetAccounting() {
+	d.MessagesForwarded = 0
+	d.SamplesForwarded = 0
+	d.SamplesCollected = 0
+	d.MessagesMerged = 0
+}
+
+// Start registers the daemon's pipe wake-ups.
+func (d *PdDaemon) Start() {
+	for _, p := range d.Pipes {
+		p.SetOnData(d.Wake)
+	}
+}
+
+// batchThreshold returns the number of samples BF waits for, clamped to
+// the total buffering available so an oversized batch cannot deadlock.
+func (d *PdDaemon) batchThreshold() int {
+	if d.Policy == forward.CF {
+		return 1
+	}
+	thr := d.BatchSize
+	if thr < 1 {
+		thr = 1
+	}
+	capTotal := 0
+	for _, p := range d.Pipes {
+		capTotal += p.Cap() + 1 // +1: one blocked writer per pipe can refill
+	}
+	if thr > capTotal && capTotal > 0 {
+		thr = capTotal
+	}
+	return thr
+}
+
+func (d *PdDaemon) available() int {
+	n := 0
+	for _, p := range d.Pipes {
+		n += p.Len() + p.Blocked()
+	}
+	return n
+}
+
+// Receive accepts a message from a child daemon (tree forwarding).
+func (d *PdDaemon) Receive(msg *forward.Message) {
+	d.relayQ = append(d.relayQ, msg)
+	d.Wake()
+}
+
+// Wake prompts the daemon to look for work. Safe to call at any time.
+func (d *PdDaemon) Wake() {
+	if d.busy {
+		return
+	}
+	// Relaying children's data takes priority: it keeps the tree draining.
+	if len(d.relayQ) > 0 {
+		msg := d.relayQ[0]
+		d.relayQ = d.relayQ[1:]
+		d.busy = true
+		d.CPU.Submit(OwnerPd, d.Cost.MergeCPU(d.R), func() {
+			d.MessagesMerged++
+			msg.Hops++
+			d.send(msg)
+			d.busy = false
+			d.Wake()
+		})
+		return
+	}
+	thr := d.batchThreshold()
+	if d.available() >= thr {
+		batch := d.drain(thr)
+		if len(batch) == 0 {
+			return
+		}
+		d.cancelFlush()
+		d.busy = true
+		d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
+			d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
+			d.busy = false
+			d.Wake()
+		})
+		return
+	}
+	// Partial batch pending: arm the flush timer if configured.
+	if d.FlushTimeout > 0 && d.available() > 0 && d.flushTimer == nil {
+		d.flushTimer = d.Sim.Schedule(d.FlushTimeout, d.flush)
+	}
+}
+
+// flush forwards whatever samples are buffered, regardless of batch size.
+func (d *PdDaemon) flush() {
+	d.flushTimer = nil
+	if d.busy || d.available() == 0 {
+		return
+	}
+	batch := d.drain(d.available())
+	if len(batch) == 0 {
+		return
+	}
+	d.busy = true
+	d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
+		d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
+		d.busy = false
+		d.Wake()
+	})
+}
+
+func (d *PdDaemon) cancelFlush() {
+	if d.flushTimer != nil {
+		d.flushTimer.Cancel()
+		d.flushTimer = nil
+	}
+}
+
+// drain gathers up to want samples round-robin across the daemon's pipes.
+func (d *PdDaemon) drain(want int) []resources.Sample {
+	out := make([]resources.Sample, 0, want)
+	if len(d.Pipes) == 0 {
+		return out
+	}
+	empty := 0
+	for len(out) < want && empty < len(d.Pipes) {
+		p := d.Pipes[d.nextPipe%len(d.Pipes)]
+		d.nextPipe++
+		if s, ok := p.Get(); ok {
+			out = append(out, s)
+			empty = 0
+		} else {
+			empty++
+		}
+	}
+	d.SamplesCollected += len(out)
+	return out
+}
+
+// send transmits a message over the network; delivery happens when the
+// network occupancy completes.
+func (d *PdDaemon) send(msg *forward.Message) {
+	d.MessagesForwarded++
+	d.SamplesForwarded += len(msg.Samples)
+	netLen := d.Cost.MsgNet(d.R, len(msg.Samples))
+	deliver := d.Deliver
+	d.Net.Submit(OwnerPd, netLen, func() {
+		if deliver != nil {
+			deliver(msg)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package procs
+
+import (
+	"rocc/internal/des"
+	"rocc/internal/forward"
+	"rocc/internal/resources"
+	"rocc/internal/rng"
+	"rocc/internal/stats"
+)
+
+// MainProcess is the main Paradyn process: it receives forwarded messages
+// and spends CPU consuming each one (delivering metrics to the Performance
+// Consultant). Monitoring latency — generation to receipt at this central
+// collection facility — is recorded on message arrival.
+type MainProcess struct {
+	Sim *des.Simulator
+	CPU *resources.CPU
+	R   *rng.Stream
+
+	CPUDist rng.Dist // per-message processing demand
+
+	// Latency accumulates per-sample monitoring latency in microseconds.
+	Latency stats.Accumulator
+	// ForwardLatency accumulates latency excluding batch accumulation: the
+	// age of the *newest* sample in each message, i.e. the transport and
+	// processing delay alone.
+	ForwardLatency stats.Accumulator
+	// LatencyP95 streams the 95th-percentile monitoring latency (P²
+	// estimator; nil until the first Receive).
+	LatencyP95 *stats.P2Quantile
+	// LatencyMax tracks the worst per-sample monitoring latency seen.
+	LatencyMax float64
+
+	SamplesReceived  int
+	MessagesReceived int
+	HopsTotal        int
+}
+
+// ResetAccounting clears the main process's metrics; used for warmup
+// (initial-transient) removal.
+func (m *MainProcess) ResetAccounting() {
+	m.Latency = stats.Accumulator{}
+	m.ForwardLatency = stats.Accumulator{}
+	m.LatencyP95 = nil
+	m.LatencyMax = 0
+	m.SamplesReceived = 0
+	m.MessagesReceived = 0
+	m.HopsTotal = 0
+}
+
+// Receive accepts one forwarded message.
+func (m *MainProcess) Receive(msg *forward.Message) {
+	now := m.Sim.Now()
+	if m.LatencyP95 == nil {
+		m.LatencyP95, _ = stats.NewP2Quantile(0.95)
+	}
+	newest := 0.0
+	for _, s := range msg.Samples {
+		lat := now - s.GenTime
+		m.Latency.Add(lat)
+		m.LatencyP95.Add(lat)
+		if lat > m.LatencyMax {
+			m.LatencyMax = lat
+		}
+		if s.GenTime > newest {
+			newest = s.GenTime
+		}
+	}
+	if len(msg.Samples) > 0 {
+		m.ForwardLatency.Add(now - newest)
+	}
+	m.SamplesReceived += len(msg.Samples)
+	m.MessagesReceived++
+	m.HopsTotal += msg.Hops
+	m.CPU.Submit(OwnerMain, m.CPUDist.Sample(m.R), nil)
+}
+
+// OpenSource generates an open stream of resource occupancy requests. It
+// models the PVM daemon (chained: each arrival occupies CPU then the
+// network) and "other user/system processes" (independent CPU and network
+// arrival streams), per Table 2.
+type OpenSource struct {
+	Sim   *des.Simulator
+	CPU   *resources.CPU
+	Net   *resources.Network
+	R     *rng.Stream
+	Owner string
+
+	CPUDist rng.Dist
+	NetDist rng.Dist
+
+	// Chained mode: arrivals spaced by CPUInterarrival each trigger a CPU
+	// request followed by a network request (PVM daemon behavior).
+	Chained bool
+
+	CPUInterarrival rng.Dist
+	NetInterarrival rng.Dist // used only when !Chained
+
+	Arrivals int
+}
+
+// Start schedules the first arrival(s).
+func (o *OpenSource) Start() {
+	if o.CPUInterarrival != nil {
+		o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrival)
+	}
+	if !o.Chained && o.NetInterarrival != nil {
+		o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrival)
+	}
+}
+
+func (o *OpenSource) cpuArrival() {
+	o.Arrivals++
+	if o.Chained {
+		o.CPU.Submit(o.Owner, o.CPUDist.Sample(o.R), func() {
+			o.Net.Submit(o.Owner, o.NetDist.Sample(o.R), nil)
+		})
+	} else {
+		o.CPU.Submit(o.Owner, o.CPUDist.Sample(o.R), nil)
+	}
+	o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrival)
+}
+
+func (o *OpenSource) netArrival() {
+	o.Net.Submit(o.Owner, o.NetDist.Sample(o.R), nil)
+	o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrival)
+}

@@ -1,0 +1,17 @@
+// Package procs implements the process behavior models of the ROCC model
+// (Figures 6 and 7 of the paper): instrumented application processes that
+// alternate Computation and Communication states, Paradyn daemons that
+// collect samples from pipes and forward them under the CF or BF policy,
+// the main Paradyn process that consumes forwarded data, and the open
+// arrival streams of the PVM daemon and other user/system processes.
+package procs
+
+// Owner-class labels used for resource-occupancy accounting. Direct IS
+// overhead is the occupancy attributed to OwnerPd plus OwnerMain.
+const (
+	OwnerApp   = "app"
+	OwnerPd    = "pd"
+	OwnerPvm   = "pvmd"
+	OwnerOther = "other"
+	OwnerMain  = "paradyn"
+)

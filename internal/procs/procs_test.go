@@ -1,0 +1,361 @@
+package procs
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/des"
+	"rocc/internal/forward"
+	"rocc/internal/resources"
+	"rocc/internal/rng"
+)
+
+// rig bundles a one-node test fixture.
+type rig struct {
+	sim  *des.Simulator
+	cpu  *resources.CPU
+	net  *resources.Network
+	pipe *resources.Pipe
+}
+
+func newRig(pipeCap int) *rig {
+	sim := des.New()
+	return &rig{
+		sim:  sim,
+		cpu:  resources.NewCPU(sim, 1, 10000),
+		net:  resources.NewNetwork(sim, false),
+		pipe: resources.NewPipe(pipeCap),
+	}
+}
+
+func newApp(r *rig, samplingPeriod float64) *AppProcess {
+	return &AppProcess{
+		Sim:            r.sim,
+		CPU:            r.cpu,
+		Net:            r.net,
+		Pipe:           r.pipe,
+		R:              rng.New(42),
+		CPUDist:        rng.Constant{Value: 2000},
+		NetDist:        rng.Constant{Value: 200},
+		SamplingPeriod: samplingPeriod,
+	}
+}
+
+func TestAppProcessAlternatesStates(t *testing.T) {
+	r := newRig(64)
+	app := newApp(r, 0) // uninstrumented
+	app.Start()
+	r.sim.Run(100000)
+	// Each iteration takes 2000 CPU + 200 net = 2200 us on idle resources.
+	want := int(100000 / 2200)
+	if app.Iterations < want-1 || app.Iterations > want+1 {
+		t.Fatalf("iterations %d, want ~%d", app.Iterations, want)
+	}
+	if app.Generated != 0 {
+		t.Fatal("uninstrumented process generated samples")
+	}
+	if got := r.cpu.Busy(OwnerApp); math.Abs(got-float64(app.Iterations+1)*2000) > 2001 {
+		t.Fatalf("app CPU busy %v inconsistent with %d iterations", got, app.Iterations)
+	}
+}
+
+func TestAppProcessGeneratesSamples(t *testing.T) {
+	r := newRig(1024)
+	app := newApp(r, 40000) // 40 ms
+	app.Start()
+	r.sim.Run(1e6) // 1 s
+	want := int(1e6 / 40000)
+	if app.Generated < want-1 || app.Generated > want {
+		t.Fatalf("generated %d samples, want ~%d", app.Generated, want)
+	}
+	if r.pipe.Len() != app.Generated {
+		t.Fatalf("pipe holds %d, generated %d", r.pipe.Len(), app.Generated)
+	}
+	first, _ := r.pipe.Get()
+	if first.GenTime != 40000 {
+		t.Fatalf("first sample at %v, want 40000", first.GenTime)
+	}
+}
+
+func TestAppProcessBlocksOnFullPipe(t *testing.T) {
+	r := newRig(2)
+	app := newApp(r, 10000)
+	app.Start()
+	r.sim.Run(500000)
+	// Pipe fills at 2 samples (plus one blocked write): the process must
+	// have stopped iterating shortly after t=30000.
+	if app.BlockedPuts == 0 {
+		t.Fatal("expected blocked puts on a tiny pipe with no reader")
+	}
+	if app.Generated > 4 {
+		t.Fatalf("generated %d samples while blocked", app.Generated)
+	}
+	iterationsWhenBlocked := app.Iterations
+	if iterationsWhenBlocked > 20 {
+		t.Fatalf("app kept iterating (%d) while blocked on pipe", iterationsWhenBlocked)
+	}
+	// Draining the pipe resumes the process.
+	for {
+		if _, ok := r.pipe.Get(); !ok {
+			break
+		}
+	}
+	r.sim.Run(1e6)
+	if app.Iterations <= iterationsWhenBlocked {
+		t.Fatal("app did not resume after pipe drained")
+	}
+}
+
+func TestBarrierSynchronizesProcesses(t *testing.T) {
+	sim := des.New()
+	net := resources.NewNetwork(sim, false)
+	b := &Barrier{Participants: 2}
+	// Two processes with very different speeds; the barrier keeps their
+	// iteration counts within one barrier period of each other.
+	cpus := []*resources.CPU{resources.NewCPU(sim, 1, 10000), resources.NewCPU(sim, 1, 10000)}
+	apps := make([]*AppProcess, 2)
+	speeds := []float64{1000, 5000}
+	for i := range apps {
+		apps[i] = &AppProcess{
+			Sim: sim, CPU: cpus[i], Net: net, Pipe: resources.NewPipe(64),
+			R:       rng.New(uint64(i)),
+			CPUDist: rng.Constant{Value: speeds[i]}, NetDist: rng.Constant{Value: 100},
+			Barrier: b, BarrierPeriod: 20000,
+		}
+		apps[i].Start()
+	}
+	sim.Run(2e6)
+	if b.Releases == 0 {
+		t.Fatal("barrier never released")
+	}
+	// Without the barrier the fast process would do ~5x the iterations of
+	// the slow one; with it, their completed work stays within a few
+	// percent (bounded by per-cycle overshoot of one iteration each).
+	w0 := float64(apps[0].Iterations) * (speeds[0] + 100)
+	w1 := float64(apps[1].Iterations) * (speeds[1] + 100)
+	if math.Abs(w0-w1) > 0.05*w0 {
+		t.Fatalf("work drift across barrier: %v vs %v", w0, w1)
+	}
+}
+
+func TestBarrierSingleParticipant(t *testing.T) {
+	b := &Barrier{Participants: 1}
+	ran := false
+	b.Arrive(func() { ran = true })
+	if !ran || b.Releases != 1 || b.Waiting() != 0 {
+		t.Fatal("single-participant barrier should open immediately")
+	}
+}
+
+func newDaemon(r *rig, policy forward.Policy, batch int) (*PdDaemon, *[]*forward.Message) {
+	var delivered []*forward.Message
+	d := &PdDaemon{
+		Sim: r.sim, CPU: r.cpu, Net: r.net, R: rng.New(7),
+		Pipes:     []*resources.Pipe{r.pipe},
+		Policy:    policy,
+		BatchSize: batch,
+		Cost: forward.CostModel{
+			PerMsgCPU:    rng.Constant{Value: 267},
+			PerSampleCPU: 8,
+			PerMsgNet:    rng.Constant{Value: 71},
+			PerSampleNet: 2,
+			Merge:        rng.Constant{Value: 100},
+		},
+		Deliver: func(m *forward.Message) { delivered = append(delivered, m) },
+	}
+	d.Start()
+	return d, &delivered
+}
+
+func TestDaemonCFForwardsEachSample(t *testing.T) {
+	r := newRig(64)
+	d, delivered := newDaemon(r, forward.CF, 1)
+	for i := 0; i < 5; i++ {
+		r.pipe.Put(resources.Sample{GenTime: float64(i)}, nil)
+	}
+	r.sim.RunAll()
+	if d.MessagesForwarded != 5 || d.SamplesForwarded != 5 {
+		t.Fatalf("forwarded %d msgs / %d samples, want 5/5", d.MessagesForwarded, d.SamplesForwarded)
+	}
+	if len(*delivered) != 5 {
+		t.Fatalf("delivered %d", len(*delivered))
+	}
+	for i, m := range *delivered {
+		if len(m.Samples) != 1 || m.Samples[0].GenTime != float64(i) {
+			t.Fatalf("message %d wrong: %+v", i, m)
+		}
+		if m.Hops != 1 {
+			t.Fatalf("hops %d", m.Hops)
+		}
+	}
+	// CF CPU cost: one 267-us request per sample.
+	if got := r.cpu.Busy(OwnerPd); got != 5*267 {
+		t.Fatalf("Pd CPU %v, want %v", got, 5.0*267)
+	}
+}
+
+func TestDaemonBFWaitsForBatch(t *testing.T) {
+	r := newRig(64)
+	d, delivered := newDaemon(r, forward.BF, 4)
+	for i := 0; i < 3; i++ {
+		r.pipe.Put(resources.Sample{GenTime: float64(i)}, nil)
+	}
+	r.sim.RunAll()
+	if d.MessagesForwarded != 0 {
+		t.Fatal("BF forwarded a partial batch without timeout")
+	}
+	r.pipe.Put(resources.Sample{GenTime: 3}, nil)
+	r.sim.RunAll()
+	if d.MessagesForwarded != 1 || d.SamplesForwarded != 4 {
+		t.Fatalf("forwarded %d/%d, want 1 msg of 4", d.MessagesForwarded, d.SamplesForwarded)
+	}
+	if len(*delivered) != 1 || len((*delivered)[0].Samples) != 4 {
+		t.Fatal("delivery wrong")
+	}
+	// BF CPU cost: 267 + 3*8 for the whole batch — far below 4*267.
+	if got := r.cpu.Busy(OwnerPd); got != 267+3*8 {
+		t.Fatalf("Pd CPU %v, want %v", got, 267+3*8.0)
+	}
+}
+
+func TestDaemonBFOverheadReduction(t *testing.T) {
+	// The headline claim: with batch 32, daemon CPU is cut by >60%.
+	runPolicy := func(policy forward.Policy, batch int) float64 {
+		r := newRig(256)
+		_, _ = newDaemon(r, policy, batch)
+		for i := 0; i < 320; i++ {
+			r.pipe.Put(resources.Sample{GenTime: float64(i)}, nil)
+			r.sim.RunAll()
+		}
+		return r.cpu.Busy(OwnerPd)
+	}
+	cf := runPolicy(forward.CF, 1)
+	bf := runPolicy(forward.BF, 32)
+	if reduction := 1 - bf/cf; reduction < 0.60 {
+		t.Fatalf("BF reduced daemon CPU by only %.0f%%", reduction*100)
+	}
+}
+
+func TestDaemonFlushTimeout(t *testing.T) {
+	r := newRig(64)
+	d, delivered := newDaemon(r, forward.BF, 100)
+	d.FlushTimeout = 50000
+	r.pipe.Put(resources.Sample{GenTime: 0}, nil)
+	r.pipe.Put(resources.Sample{GenTime: 1}, nil)
+	r.sim.Run(200000)
+	if d.MessagesForwarded != 1 || d.SamplesForwarded != 2 {
+		t.Fatalf("flush did not forward partial batch: %d/%d", d.MessagesForwarded, d.SamplesForwarded)
+	}
+	if len(*delivered) != 1 {
+		t.Fatal("delivery missing")
+	}
+}
+
+func TestDaemonBatchClampedToPipeCapacity(t *testing.T) {
+	// Batch larger than total buffering must clamp, not deadlock.
+	r := newRig(4)
+	d, _ := newDaemon(r, forward.BF, 1000)
+	if thr := d.batchThreshold(); thr != 5 { // cap 4 + 1 blocked writer
+		t.Fatalf("threshold %d, want 5", thr)
+	}
+}
+
+func TestDaemonRelayMergesAndForwards(t *testing.T) {
+	r := newRig(8)
+	d, delivered := newDaemon(r, forward.CF, 1)
+	msg := &forward.Message{Samples: []resources.Sample{{GenTime: 5}}, FromNode: 3, Hops: 1}
+	d.Receive(msg)
+	r.sim.RunAll()
+	if d.MessagesMerged != 1 {
+		t.Fatal("merge not counted")
+	}
+	if len(*delivered) != 1 || (*delivered)[0].Hops != 2 {
+		t.Fatalf("relayed message wrong: %+v", *delivered)
+	}
+	// Merge cost on CPU.
+	if got := r.cpu.Busy(OwnerPd); got != 100 {
+		t.Fatalf("merge CPU %v, want 100", got)
+	}
+}
+
+func TestDaemonRelayPriority(t *testing.T) {
+	r := newRig(8)
+	d, delivered := newDaemon(r, forward.CF, 1)
+	// Stage both local samples and a relayed message before any dispatch.
+	r.pipe.SetOnData(func() {}) // suppress auto-wake to control ordering
+	r.pipe.Put(resources.Sample{GenTime: 1}, nil)
+	d.Receive(&forward.Message{Samples: []resources.Sample{{GenTime: 2}}, FromNode: 1, Hops: 1})
+	r.sim.RunAll()
+	if len(*delivered) != 2 {
+		t.Fatalf("delivered %d", len(*delivered))
+	}
+	if (*delivered)[0].FromNode != 1 {
+		t.Fatal("relay should be forwarded before local collection")
+	}
+}
+
+func TestMainProcessLatencyAccounting(t *testing.T) {
+	sim := des.New()
+	cpu := resources.NewCPU(sim, 1, 10000)
+	m := &MainProcess{Sim: sim, CPU: cpu, R: rng.New(1), CPUDist: rng.Constant{Value: 3208}}
+	sim.Schedule(1000, func() {
+		m.Receive(&forward.Message{Samples: []resources.Sample{{GenTime: 0}, {GenTime: 500}}, Hops: 1})
+	})
+	sim.RunAll()
+	if m.SamplesReceived != 2 || m.MessagesReceived != 1 || m.HopsTotal != 1 {
+		t.Fatal("counters wrong")
+	}
+	if got := m.Latency.Mean(); got != 750 { // (1000-0 + 1000-500)/2
+		t.Fatalf("latency mean %v, want 750", got)
+	}
+	if got := m.ForwardLatency.Mean(); got != 500 { // newest sample age
+		t.Fatalf("forward latency %v, want 500", got)
+	}
+	if got := cpu.Busy(OwnerMain); got != 3208 {
+		t.Fatalf("main CPU %v", got)
+	}
+}
+
+func TestOpenSourceChained(t *testing.T) {
+	sim := des.New()
+	cpu := resources.NewCPU(sim, 1, 10000)
+	net := resources.NewNetwork(sim, false)
+	o := &OpenSource{
+		Sim: sim, CPU: cpu, Net: net, R: rng.New(3), Owner: OwnerPvm,
+		CPUDist: rng.Constant{Value: 294}, NetDist: rng.Constant{Value: 58},
+		Chained: true, CPUInterarrival: rng.Constant{Value: 6485},
+	}
+	o.Start()
+	sim.Run(649000) // 100 arrivals
+	if o.Arrivals != 100 {
+		t.Fatalf("arrivals %d, want 100", o.Arrivals)
+	}
+	if got := cpu.Busy(OwnerPvm); math.Abs(got-100*294) > 294 {
+		t.Fatalf("pvm CPU %v", got)
+	}
+	if got := net.Busy(OwnerPvm); math.Abs(got-100*58) > 60 {
+		t.Fatalf("pvm net %v", got)
+	}
+}
+
+func TestOpenSourceIndependentStreams(t *testing.T) {
+	sim := des.New()
+	cpu := resources.NewCPU(sim, 1, 10000)
+	net := resources.NewNetwork(sim, false)
+	o := &OpenSource{
+		Sim: sim, CPU: cpu, Net: net, R: rng.New(4), Owner: OwnerOther,
+		CPUDist: rng.Constant{Value: 367}, NetDist: rng.Constant{Value: 92},
+		CPUInterarrival: rng.Constant{Value: 10000},
+		NetInterarrival: rng.Constant{Value: 25000},
+	}
+	o.Start()
+	sim.Run(100000)
+	// Arrivals at 10k..100k; the one at t=100k has not completed service,
+	// so 9 CPU requests and 3 network requests have accrued occupancy.
+	if got := cpu.Busy(OwnerOther); got != 9*367 {
+		t.Fatalf("other CPU %v", got)
+	}
+	if got := net.Busy(OwnerOther); got != 3*92 {
+		t.Fatalf("other net %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls ASCII line-plot rendering.
+type PlotOptions struct {
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 16)
+	LogX   bool // logarithmic x axis
+	LogY   bool // logarithmic y axis
+}
+
+// markers assigns one glyph per series, in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the figure as an ASCII line chart: one glyph per series,
+// a y-axis scale on the left, and the x range below. Non-finite values
+// are skipped. It complements RenderCSV/Render for quick terminal
+// inspection of the paper's figures.
+func (f *Figure) Plot(w io.Writer, opt PlotOptions) error {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", f.Title)
+		return err
+	}
+
+	tx := func(v float64) float64 { return v }
+	ty := tx
+	if opt.LogX {
+		tx = safeLog10
+	}
+	if opt.LogY {
+		ty = safeLog10
+	}
+
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, x := range f.X {
+		v := tx(x)
+		if !finite(v) {
+			continue
+		}
+		xmin, xmax = math.Min(xmin, v), math.Max(xmax, v)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			v := ty(y)
+			if !finite(v) {
+				continue
+			}
+			ymin, ymax = math.Min(ymin, v), math.Max(ymax, v)
+		}
+	}
+	if !finite(xmin) || !finite(ymin) {
+		_, err := fmt.Fprintf(w, "%s: (no finite data)\n", f.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((tx(x) - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+		return clampInt(c, 0, opt.Width-1)
+	}
+	rowOf := func(y float64) int {
+		r := int(math.Round((ty(y) - ymin) / (ymax - ymin) * float64(opt.Height-1)))
+		return clampInt(opt.Height-1-r, 0, opt.Height-1)
+	}
+
+	for si, s := range f.Series {
+		mark := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, y := range s.Y {
+			if !finite(ty(y)) || !finite(tx(f.X[i])) {
+				prevC = -1
+				continue
+			}
+			c, r := col(f.X[i]), rowOf(y)
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]  y: %s\n", strings.Join(legend, "   "), f.YLabel); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = axisLabel(ymax, opt.LogY)
+		case opt.Height - 1:
+			label = axisLabel(ymin, opt.LogY)
+		case (opt.Height - 1) / 2:
+			label = axisLabel((ymin+ymax)/2, opt.LogY)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", opt.Width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-*s%s   (x: %s)\n", "",
+		opt.Width-len(axisLabel(xmax, opt.LogX)), axisLabel(xmin, opt.LogX),
+		axisLabel(xmax, opt.LogX), f.XLabel)
+	return err
+}
+
+// axisLabel formats an axis tick, undoing the log transform for display.
+func axisLabel(v float64, logged bool) string {
+	if logged {
+		return F(math.Pow(10, v))
+	}
+	return F(v)
+}
+
+// drawLine draws a Bresenham segment with a light glyph, not overwriting
+// existing data markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, glyph byte) {
+	dx, dy := absInt(x1-x0), -absInt(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = glyph
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func safeLog10(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(v)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

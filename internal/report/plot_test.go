@@ -1,0 +1,123 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	f := NewFigure("Overhead vs SP", "sp_ms", "util %", []float64{1, 2, 4, 8})
+	if err := f.Add("CF", []float64{26, 13, 7, 3.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("BF", []float64{1.6, 0.8, 0.4, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.Plot(&b, PlotOptions{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Overhead vs SP") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* CF") || !strings.Contains(out, "+ BF") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing data markers")
+	}
+	// y axis labels: max 26 at the top line, min 0.2 at the bottom.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	if len(plotLines) != 10 {
+		t.Fatalf("%d plot rows, want 10", len(plotLines))
+	}
+	if !strings.Contains(plotLines[0], "26") {
+		t.Fatalf("top label missing: %q", plotLines[0])
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	f := NewFigure("log", "x", "y", []float64{1, 10, 100, 1000})
+	if err := f.Add("s", []float64{1, 10, 100, 1000}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.Plot(&b, PlotOptions{Width: 30, Height: 8, LogX: true, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	// On log-log a power law is a straight diagonal: marker column should
+	// advance with row. Just verify all four markers are present and the
+	// axis labels show the original (unlogged) values.
+	out := b.String()
+	if strings.Count(out, "*") < 4 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1000") {
+		t.Fatal("unlogged axis label missing")
+	}
+}
+
+func TestPlotHandlesNonFinite(t *testing.T) {
+	f := NewFigure("inf", "x", "y", []float64{1, 2, 3})
+	if err := f.Add("s", []float64{1, math.Inf(1), 2}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.Plot(&b, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("finite points should still plot")
+	}
+	// All-infinite series: graceful message.
+	f2 := NewFigure("allinf", "x", "y", []float64{1})
+	if err := f2.Add("s", []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := f2.Plot(&b2, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "no finite data") {
+		t.Fatalf("got %q", b2.String())
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	f := NewFigure("empty", "x", "y", nil)
+	var b strings.Builder
+	if err := f.Plot(&b, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty figure message missing")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	f := NewFigure("const", "x", "y", []float64{1, 2, 3})
+	if err := f.Add("s", []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.Plot(&b, PlotOptions{Width: 20, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+	stars := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "|") {
+			stars += strings.Count(line, "*")
+		}
+	}
+	if stars != 3 {
+		t.Fatalf("constant series should plot 3 points, got %d:\n%s", stars, b.String())
+	}
+}

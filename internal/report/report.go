@@ -1,0 +1,202 @@
+// Package report renders experiment outputs: aligned ASCII tables (for
+// the paper's Tables 1-8) and multi-series figures as CSV and aligned
+// columns (for Figures 8-31). Every experiment in cmd/roccbench and
+// bench_test.go prints through this package so outputs are uniform and
+// diffable.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// F formats a float compactly: fixed precision for moderate magnitudes,
+// scientific for very small or large values, "inf"/"nan" passed through.
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == 0:
+		return "0"
+	}
+	av := math.Abs(v)
+	if av >= 1e6 || av < 1e-4 {
+		return strconv.FormatFloat(v, 'e', 3, 64)
+	}
+	if av >= 100 {
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	if av >= 1 {
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 5, 64)
+}
+
+// Pct renders a percentage with two decimals.
+func Pct(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) + "%" }
+
+// Table is an aligned-column text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFloats appends a row of formatted floats after a leading label cell.
+func (t *Table) AddFloats(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, F(v))
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a multi-series plot rendered as data columns: one X column
+// shared by all series, exactly the rows/series a plotting tool would
+// consume to regenerate the paper's figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// NewFigure creates a figure with the shared x-axis values.
+func NewFigure(title, xlabel, ylabel string, x []float64) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel, X: x}
+}
+
+// Add appends a series; its length must match the x-axis.
+func (f *Figure) Add(name string, y []float64) error {
+	if len(y) != len(f.X) {
+		return fmt.Errorf("report: series %q has %d points, x-axis has %d", name, len(y), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// RenderCSV writes the figure as CSV: header then one row per x value.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range f.X {
+		cells := []string{strconv.FormatFloat(f.X[i], 'g', -1, 64)}
+		for _, s := range f.Series {
+			cells = append(cells, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as an aligned table with a title block.
+func (f *Figure) Render(w io.Writer) error {
+	t := NewTable(fmt.Sprintf("%s  [y: %s]", f.Title, f.YLabel), append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	for i := range f.X {
+		vals := make([]float64, len(f.Series))
+		for j, s := range f.Series {
+			vals[j] = s.Y[i]
+		}
+		t.AddFloats(F(f.X[i]), vals...)
+	}
+	return t.Render(w)
+}
+
+func seriesNames(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFFormats(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{math.NaN(), "nan"},
+		{math.Inf(1), "+inf"},
+		{math.Inf(-1), "-inf"},
+		{1234567, "1.235e+06"},
+		{0.00001, "1.000e-05"},
+		{123.4, "123.4"},
+		{1.5, "1.500"},
+		{0.5, "0.50000"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if Pct(12.345) != "12.35%" && Pct(12.345) != "12.34%" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddFloats("beta", 2.5)
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Fatal("header/separator wrong")
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Fatal("AddFloats formatting missing")
+	}
+}
+
+func TestFigureCSVAndRender(t *testing.T) {
+	f := NewFigure("Fig X", "nodes", "util %", []float64{2, 4, 8})
+	if err := f.Add("CF", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("BF", []float64{0.5, 1, 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("bad", []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	var csv strings.Builder
+	if err := f.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "nodes,CF,BF\n2,1,0.5\n4,2,1\n8,3,1.5\n"
+	if csv.String() != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", csv.String(), want)
+	}
+	var txt strings.Builder
+	if err := f.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "Fig X") || !strings.Contains(txt.String(), "CF") {
+		t.Fatal("render missing content")
+	}
+}

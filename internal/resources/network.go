@@ -1,0 +1,130 @@
+package resources
+
+import (
+	"math"
+
+	"rocc/internal/des"
+)
+
+// Network models the interconnect as a resource accepting occupancy
+// requests. Two service disciplines cover the three architectures of the
+// study:
+//
+//   - Contended: a single FIFO channel (shared Ethernet for NOW, the shared
+//     bus for SMP). Requests queue; §4.3.3 of the paper shows this queue
+//     becoming the bottleneck for SMP systems with >= 32 nodes.
+//   - Contention-free: every transfer proceeds at full speed in parallel
+//     (the "high-speed, contention-free network" assumed for the MPP case,
+//     §4.4) — an infinite-server discipline.
+type Network struct {
+	sim       *des.Simulator
+	contended bool
+
+	queue   []*netReq
+	serving bool
+
+	busy      map[string]float64
+	busyTotal float64
+
+	// transfers counts completed occupancy requests per owner.
+	transfers map[string]int
+
+	// OnOccupancy, if set, observes every completed transfer (owner,
+	// start time, length) for trace recording.
+	OnOccupancy func(owner string, start, length float64)
+}
+
+type netReq struct {
+	owner  string
+	length float64
+	onDone func()
+}
+
+// NewNetwork returns a network resource. contended selects the single
+// FIFO-channel discipline; otherwise transfers do not queue.
+func NewNetwork(sim *des.Simulator, contended bool) *Network {
+	return &Network{
+		sim:       sim,
+		contended: contended,
+		busy:      make(map[string]float64),
+		transfers: make(map[string]int),
+	}
+}
+
+// Contended reports the service discipline.
+func (n *Network) Contended() bool { return n.contended }
+
+// Submit enqueues a network occupancy request of the given length for
+// owner; onDone (may be nil) runs when the transfer completes.
+func (n *Network) Submit(owner string, length float64, onDone func()) {
+	if length < 0 || math.IsNaN(length) {
+		panic("resources: negative or NaN network request")
+	}
+	if !n.contended {
+		n.sim.Schedule(length, func() {
+			n.account(owner, length)
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	n.queue = append(n.queue, &netReq{owner: owner, length: length, onDone: onDone})
+	n.serve()
+}
+
+func (n *Network) serve() {
+	if n.serving || len(n.queue) == 0 {
+		return
+	}
+	req := n.queue[0]
+	n.queue = n.queue[1:]
+	n.serving = true
+	n.sim.Schedule(req.length, func() {
+		n.account(req.owner, req.length)
+		n.serving = false
+		if req.onDone != nil {
+			req.onDone()
+		}
+		n.serve()
+	})
+}
+
+func (n *Network) account(owner string, length float64) {
+	n.busy[owner] += length
+	n.busyTotal += length
+	n.transfers[owner]++
+	if n.OnOccupancy != nil {
+		n.OnOccupancy(owner, n.sim.Now()-length, length)
+	}
+}
+
+// QueueLen returns the number of requests waiting (contended mode only).
+func (n *Network) QueueLen() int { return len(n.queue) }
+
+// Busy returns accumulated channel occupancy for an owner class.
+func (n *Network) Busy(owner string) float64 { return n.busy[owner] }
+
+// BusyTotal returns accumulated occupancy across all owners.
+func (n *Network) BusyTotal() float64 { return n.busyTotal }
+
+// Transfers returns the number of completed transfers for an owner class.
+func (n *Network) Transfers(owner string) int { return n.transfers[owner] }
+
+// ResetAccounting clears occupancy accounting without disturbing queued or
+// in-flight transfers; used for warmup (initial-transient) removal.
+func (n *Network) ResetAccounting() {
+	n.busy = make(map[string]float64)
+	n.transfers = make(map[string]int)
+	n.busyTotal = 0
+}
+
+// Utilization returns the fraction of channel time an owner occupied over
+// elapsed microseconds. For contention-free networks this is the offered
+// load rather than a true utilization.
+func (n *Network) Utilization(owner string, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return n.busy[owner] / elapsed
+}

@@ -1,0 +1,132 @@
+package resources
+
+// Sample is one instrumentation data sample flowing from an application
+// process through a pipe to a Paradyn daemon and on to the main process.
+type Sample struct {
+	// GenTime is the simulated time the sample was generated; monitoring
+	// latency is measured from here to receipt at the main Paradyn process.
+	GenTime float64
+	// Node and Proc identify the originating application process.
+	Node, Proc int
+}
+
+// Pipe is the bounded kernel buffer (a Unix pipe in the real system)
+// between an instrumented application process and its local Paradyn daemon.
+// When the pipe is full, the writing application process blocks — the
+// effect §4.3.3 of the paper identifies at small sampling periods, where a
+// full pipe stalls the application until the daemon drains samples.
+type Pipe struct {
+	capacity int
+	items    []Sample
+	blocked  []blockedPut
+
+	// onData, if set, fires whenever a sample enters the pipe; the daemon
+	// uses it to wake up (it may be waiting on a batch threshold, so every
+	// arrival matters, not just the empty-to-non-empty transition).
+	onData func()
+
+	// dropped counts samples discarded by TryPut on a full pipe.
+	dropped int
+	puts    int
+}
+
+type blockedPut struct {
+	s          Sample
+	onAccepted func()
+}
+
+// NewPipe returns a pipe with the given sample capacity (must be positive).
+func NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		panic("resources: pipe capacity must be positive")
+	}
+	return &Pipe{capacity: capacity}
+}
+
+// SetOnData registers the reader wake-up callback.
+func (p *Pipe) SetOnData(fn func()) { p.onData = fn }
+
+// Len returns the number of buffered samples.
+func (p *Pipe) Len() int { return len(p.items) }
+
+// Cap returns the pipe capacity.
+func (p *Pipe) Cap() int { return p.capacity }
+
+// Blocked returns the number of writers currently blocked on a full pipe.
+func (p *Pipe) Blocked() int { return len(p.blocked) }
+
+// Puts returns the total samples accepted into the pipe.
+func (p *Pipe) Puts() int { return p.puts }
+
+// Dropped returns samples discarded by TryPut.
+func (p *Pipe) Dropped() int { return p.dropped }
+
+// Put writes a sample. If there is room it is accepted immediately and Put
+// returns true. Otherwise the writer is blocked: Put returns false and
+// onAccepted fires later, when a Get frees space and the sample enters the
+// pipe. onAccepted may be nil.
+func (p *Pipe) Put(s Sample, onAccepted func()) bool {
+	if len(p.items) < p.capacity {
+		p.accept(s)
+		return true
+	}
+	p.blocked = append(p.blocked, blockedPut{s: s, onAccepted: onAccepted})
+	return false
+}
+
+// TryPut writes a sample if there is room, otherwise drops it and returns
+// false. It models lossy instrumentation buffers for ablation experiments.
+func (p *Pipe) TryPut(s Sample) bool {
+	if len(p.items) < p.capacity {
+		p.accept(s)
+		return true
+	}
+	p.dropped++
+	return false
+}
+
+func (p *Pipe) accept(s Sample) {
+	p.items = append(p.items, s)
+	p.puts++
+	if p.onData != nil {
+		p.onData()
+	}
+}
+
+// Get removes and returns the oldest sample. When space frees and writers
+// are blocked, the oldest blocked sample enters the pipe and its onAccepted
+// callback fires.
+func (p *Pipe) Get() (Sample, bool) {
+	if len(p.items) == 0 {
+		return Sample{}, false
+	}
+	s := p.items[0]
+	p.items = p.items[1:]
+	if len(p.blocked) > 0 {
+		bp := p.blocked[0]
+		p.blocked = p.blocked[1:]
+		p.accept(bp.s)
+		if bp.onAccepted != nil {
+			bp.onAccepted()
+		}
+	}
+	return s, true
+}
+
+// Drain removes and returns up to max samples (all buffered samples if max
+// <= 0), unblocking writers as space frees. The daemon uses Drain to build
+// a batch under the BF policy.
+func (p *Pipe) Drain(max int) []Sample {
+	if max <= 0 || max > len(p.items)+len(p.blocked) {
+		max = len(p.items) // blocked items enter as space frees below
+	}
+	var out []Sample
+	for len(out) < max {
+		s, ok := p.Get()
+		if !ok {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

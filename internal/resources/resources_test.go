@@ -1,0 +1,356 @@
+package resources
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/des"
+)
+
+func TestCPUSingleRequest(t *testing.T) {
+	sim := des.New()
+	cpu := NewCPU(sim, 1, 10000)
+	done := -1.0
+	cpu.Submit("app", 2500, func() { done = sim.Now() })
+	sim.RunAll()
+	if done != 2500 {
+		t.Fatalf("completion at %v, want 2500", done)
+	}
+	if got := cpu.Busy("app"); got != 2500 {
+		t.Fatalf("busy %v", got)
+	}
+	if cpu.BusyTotal() != 2500 {
+		t.Fatal("busy total")
+	}
+}
+
+func TestCPURoundRobinFairness(t *testing.T) {
+	// Two 20000-us requests on one core with a 10000-us quantum interleave:
+	// A runs [0,10k), B [10k,20k), A [20k,30k), B [30k,40k).
+	sim := des.New()
+	cpu := NewCPU(sim, 1, 10000)
+	var doneA, doneB float64
+	cpu.Submit("A", 20000, func() { doneA = sim.Now() })
+	cpu.Submit("B", 20000, func() { doneB = sim.Now() })
+	sim.RunAll()
+	if doneA != 30000 || doneB != 40000 {
+		t.Fatalf("doneA=%v doneB=%v, want 30000/40000", doneA, doneB)
+	}
+}
+
+func TestCPUShortRequestNotStarved(t *testing.T) {
+	// A short IS request behind a long application burst gets the CPU
+	// after one quantum, not after the whole burst — the essence of the
+	// round-robin sharing the ROCC model depends on.
+	sim := des.New()
+	cpu := NewCPU(sim, 1, 10000)
+	var donePd float64
+	cpu.Submit("app", 100000, nil)
+	cpu.Submit("pd", 300, func() { donePd = sim.Now() })
+	sim.RunAll()
+	if donePd != 10300 {
+		t.Fatalf("pd done at %v, want 10300", donePd)
+	}
+}
+
+func TestCPUMultiCore(t *testing.T) {
+	sim := des.New()
+	cpu := NewCPU(sim, 2, 10000)
+	var times []float64
+	for i := 0; i < 2; i++ {
+		cpu.Submit("app", 5000, func() { times = append(times, sim.Now()) })
+	}
+	sim.RunAll()
+	if len(times) != 2 || times[0] != 5000 || times[1] != 5000 {
+		t.Fatalf("parallel completions %v", times)
+	}
+	if cpu.Utilization("app", 5000) != 1.0 {
+		t.Fatalf("utilization %v", cpu.Utilization("app", 5000))
+	}
+}
+
+func TestCPUZeroLength(t *testing.T) {
+	sim := des.New()
+	cpu := NewCPU(sim, 1, 10000)
+	called := false
+	cpu.Submit("x", 0, func() { called = true })
+	if !called {
+		t.Fatal("zero-length request should complete synchronously")
+	}
+	cpu.Submit("x", 5, nil) // nil onDone must not panic
+	sim.RunAll()
+}
+
+func TestCPUPanics(t *testing.T) {
+	sim := des.New()
+	mustPanic(t, func() { NewCPU(sim, 0, 1) })
+	mustPanic(t, func() { NewCPU(sim, 1, 0) })
+	cpu := NewCPU(sim, 1, 10)
+	mustPanic(t, func() { cpu.Submit("x", -1, nil) })
+	mustPanic(t, func() { cpu.Submit("x", math.NaN(), nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCPUOwnersAndQueue(t *testing.T) {
+	sim := des.New()
+	cpu := NewCPU(sim, 1, 1000)
+	cpu.Submit("a", 500, nil)
+	cpu.Submit("b", 500, nil)
+	if cpu.Running() != 1 || cpu.QueueLen() != 1 {
+		t.Fatalf("running=%d queued=%d", cpu.Running(), cpu.QueueLen())
+	}
+	sim.RunAll()
+	if len(cpu.Owners()) != 2 {
+		t.Fatalf("owners %v", cpu.Owners())
+	}
+	if cpu.Utilization("a", 0) != 0 {
+		t.Fatal("zero elapsed should give zero utilization")
+	}
+}
+
+func TestNetworkContendedFIFO(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim, true)
+	var order []string
+	net.Submit("a", 100, func() { order = append(order, "a") })
+	net.Submit("b", 50, func() { order = append(order, "b") })
+	net.Submit("c", 10, func() { order = append(order, "c") })
+	if net.QueueLen() != 2 {
+		t.Fatalf("queue length %d, want 2", net.QueueLen())
+	}
+	sim.RunAll()
+	if sim.Now() != 160 {
+		t.Fatalf("finish time %v, want 160 (serialized)", sim.Now())
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order %v", order)
+	}
+	if net.Transfers("a") != 1 || net.BusyTotal() != 160 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestNetworkContentionFree(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim, false)
+	var finish []float64
+	net.Submit("a", 100, func() { finish = append(finish, sim.Now()) })
+	net.Submit("b", 100, func() { finish = append(finish, sim.Now()) })
+	sim.RunAll()
+	if sim.Now() != 100 {
+		t.Fatalf("finish time %v, want 100 (parallel)", sim.Now())
+	}
+	if len(finish) != 2 {
+		t.Fatal("missing completions")
+	}
+	if net.Contended() {
+		t.Fatal("mode flag wrong")
+	}
+	if u := net.Utilization("a", 100); u != 1.0 {
+		t.Fatalf("offered load %v", u)
+	}
+	if net.Utilization("a", 0) != 0 {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim, true)
+	mustPanic(t, func() { net.Submit("x", -5, nil) })
+}
+
+func TestPipeBasics(t *testing.T) {
+	p := NewPipe(2)
+	if !p.Put(Sample{GenTime: 1}, nil) || !p.Put(Sample{GenTime: 2}, nil) {
+		t.Fatal("puts under capacity should succeed")
+	}
+	if p.Len() != 2 || p.Cap() != 2 || p.Puts() != 2 {
+		t.Fatal("length/cap accounting")
+	}
+	s, ok := p.Get()
+	if !ok || s.GenTime != 1 {
+		t.Fatalf("FIFO violated: %+v", s)
+	}
+}
+
+func TestPipeBlocksWriterAndUnblocksOnGet(t *testing.T) {
+	p := NewPipe(1)
+	p.Put(Sample{GenTime: 1}, nil)
+	unblocked := false
+	if p.Put(Sample{GenTime: 2}, func() { unblocked = true }) {
+		t.Fatal("put on full pipe should block")
+	}
+	if p.Blocked() != 1 {
+		t.Fatal("blocked count")
+	}
+	s, _ := p.Get()
+	if s.GenTime != 1 {
+		t.Fatal("wrong sample")
+	}
+	if !unblocked {
+		t.Fatal("blocked writer not released by Get")
+	}
+	if p.Len() != 1 {
+		t.Fatal("blocked sample should have entered the pipe")
+	}
+	s, _ = p.Get()
+	if s.GenTime != 2 {
+		t.Fatal("blocked sample lost")
+	}
+}
+
+func TestPipeOnData(t *testing.T) {
+	// Every accepted sample wakes the reader: a daemon waiting on a batch
+	// threshold needs to recheck on each arrival, not only on the
+	// empty-to-non-empty transition.
+	p := NewPipe(4)
+	wakeups := 0
+	p.SetOnData(func() { wakeups++ })
+	p.Put(Sample{}, nil)
+	p.Put(Sample{}, nil)
+	if wakeups != 2 {
+		t.Fatalf("wakeups %d, want 2", wakeups)
+	}
+	p.Get()
+	p.Get()
+	p.Put(Sample{}, nil)
+	if wakeups != 3 {
+		t.Fatalf("wakeups %d, want 3", wakeups)
+	}
+	// A blocked put wakes the reader when it finally enters via Get.
+	p2 := NewPipe(1)
+	w2 := 0
+	p2.SetOnData(func() { w2++ })
+	p2.Put(Sample{}, nil)
+	p2.Put(Sample{}, nil) // blocks
+	if w2 != 1 {
+		t.Fatalf("blocked put should not wake yet: %d", w2)
+	}
+	p2.Get()
+	if w2 != 2 {
+		t.Fatalf("unblocked sample should wake reader: %d", w2)
+	}
+}
+
+func TestPipeTryPutDrops(t *testing.T) {
+	p := NewPipe(1)
+	if !p.TryPut(Sample{}) {
+		t.Fatal("first TryPut should succeed")
+	}
+	if p.TryPut(Sample{}) {
+		t.Fatal("TryPut on full pipe should fail")
+	}
+	if p.Dropped() != 1 {
+		t.Fatal("dropped count")
+	}
+}
+
+func TestPipeDrain(t *testing.T) {
+	p := NewPipe(8)
+	for i := 0; i < 5; i++ {
+		p.Put(Sample{GenTime: float64(i)}, nil)
+	}
+	batch := p.Drain(3)
+	if len(batch) != 3 || batch[0].GenTime != 0 || batch[2].GenTime != 2 {
+		t.Fatalf("batch %v", batch)
+	}
+	rest := p.Drain(0)
+	if len(rest) != 2 {
+		t.Fatalf("drain-all returned %d", len(rest))
+	}
+	if p.Len() != 0 {
+		t.Fatal("pipe not empty")
+	}
+	if got := p.Drain(4); len(got) != 0 {
+		t.Fatal("drain of empty pipe")
+	}
+}
+
+func TestPipeGetEmpty(t *testing.T) {
+	p := NewPipe(1)
+	if _, ok := p.Get(); ok {
+		t.Fatal("Get on empty pipe")
+	}
+	mustPanic(t, func() { NewPipe(0) })
+}
+
+// Property: pipe preserves FIFO order and never exceeds capacity, under any
+// interleaving of puts and gets.
+func TestQuickPipeFIFO(t *testing.T) {
+	f := func(ops []bool, capSeed uint8) bool {
+		capacity := int(capSeed)%8 + 1
+		p := NewPipe(capacity)
+		nextPut, nextGet := 0, 0
+		for _, isPut := range ops {
+			if isPut {
+				p.Put(Sample{GenTime: float64(nextPut)}, nil)
+				nextPut++
+			} else if s, ok := p.Get(); ok {
+				if int(s.GenTime) != nextGet {
+					return false
+				}
+				nextGet++
+			}
+			if p.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CPU conserves work — total busy time equals total demand once
+// all requests complete, regardless of core count and quantum.
+func TestQuickCPUWorkConservation(t *testing.T) {
+	f := func(lengths []uint16, cores8, quantum16 uint8) bool {
+		cores := int(cores8)%4 + 1
+		quantum := float64(int(quantum16)*20) + 100
+		sim := des.New()
+		cpu := NewCPU(sim, cores, quantum)
+		total := 0.0
+		for _, l := range lengths {
+			d := float64(l % 10000)
+			total += d
+			cpu.Submit("w", d, nil)
+		}
+		sim.RunAll()
+		return math.Abs(cpu.Busy("w")-total) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: contended network serializes — completion time equals the sum
+// of lengths when all requests are submitted at time zero.
+func TestQuickNetworkSerializes(t *testing.T) {
+	f := func(lengths []uint16) bool {
+		sim := des.New()
+		net := NewNetwork(sim, true)
+		total := 0.0
+		for _, l := range lengths {
+			d := float64(l)
+			total += d
+			net.Submit("w", d, nil)
+		}
+		sim.RunAll()
+		return math.Abs(sim.Now()-total) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// BatchMeansCI estimates a confidence interval for the steady-state mean
+// of a single long simulation run using the method of batch means (Law &
+// Kelton §9.5.3): the observation series is split into nbatches
+// contiguous batches, whose means are treated as approximately
+// independent replicates. Complements the independent-replications CIs
+// used by the factorial experiments.
+func BatchMeansCI(xs []float64, nbatches int, level float64) (ConfidenceInterval, error) {
+	if nbatches < 2 {
+		return ConfidenceInterval{}, errors.New("stats: batch means needs >= 2 batches")
+	}
+	if len(xs) < 2*nbatches {
+		return ConfidenceInterval{}, errors.New("stats: too few observations for batch count")
+	}
+	if level <= 0 || level >= 1 {
+		return ConfidenceInterval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	batchSize := len(xs) / nbatches
+	means := make([]float64, nbatches)
+	for b := 0; b < nbatches; b++ {
+		sum := 0.0
+		for i := b * batchSize; i < (b+1)*batchSize; i++ {
+			sum += xs[i]
+		}
+		means[b] = sum / float64(batchSize)
+	}
+	return MeanCI(means, level)
+}
+
+// Lag1Autocorrelation returns the lag-1 autocorrelation of xs, the usual
+// diagnostic for whether batches are large enough (batch means should
+// have low lag-1 correlation).
+func Lag1Autocorrelation(xs []float64) (float64, error) {
+	if len(xs) < 3 {
+		return 0, errors.New("stats: need at least 3 observations")
+	}
+	mean := MeanOf(xs)
+	var num, den float64
+	for i := 0; i < len(xs); i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i > 0 {
+			num += d * (xs[i-1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	r := num / den
+	if math.IsNaN(r) {
+		return 0, errors.New("stats: autocorrelation undefined")
+	}
+	return r, nil
+}

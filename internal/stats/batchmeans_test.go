@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/rng"
+)
+
+func TestBatchMeansCICoversTrueMean(t *testing.T) {
+	// AR(1) series with known mean 50: batch means handles the
+	// autocorrelation that a naive per-observation CI would ignore.
+	r := rng.New(71)
+	const n = 40000
+	xs := make([]float64, n)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.8*prev + r.Normal(0, 1)
+		xs[i] = 50 + prev
+	}
+	ci, err := BatchMeansCI(xs, 20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(50) {
+		t.Fatalf("CI [%v, %v] misses true mean 50", ci.Low(), ci.High())
+	}
+	// Naive CI from raw observations would be far narrower than the batch
+	// CI for positively correlated data.
+	naive, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.HalfWidth < 2*naive.HalfWidth {
+		t.Fatalf("batch CI %v not appropriately wider than naive %v", ci.HalfWidth, naive.HalfWidth)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	xs := make([]float64, 10)
+	if _, err := BatchMeansCI(xs, 1, 0.9); err == nil {
+		t.Fatal("1 batch")
+	}
+	if _, err := BatchMeansCI(xs, 8, 0.9); err == nil {
+		t.Fatal("too few observations")
+	}
+	if _, err := BatchMeansCI(make([]float64, 100), 5, 1.5); err == nil {
+		t.Fatal("bad level")
+	}
+}
+
+func TestLag1Autocorrelation(t *testing.T) {
+	// Strongly positively correlated series.
+	r := rng.New(72)
+	xs := make([]float64, 10000)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.9*prev + r.Normal(0, 1)
+		xs[i] = prev
+	}
+	rho, err := Lag1Autocorrelation(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.85 || rho > 0.95 {
+		t.Fatalf("AR(0.9) lag-1 autocorrelation %v", rho)
+	}
+	// IID series: near zero.
+	for i := range xs {
+		xs[i] = r.Normal(0, 1)
+	}
+	rho, err = Lag1Autocorrelation(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.05 {
+		t.Fatalf("iid lag-1 autocorrelation %v", rho)
+	}
+	// Constant series: zero by convention.
+	rho, err = Lag1Autocorrelation([]float64{3, 3, 3, 3})
+	if err != nil || rho != 0 {
+		t.Fatalf("constant series: %v, %v", rho, err)
+	}
+	if _, err := Lag1Autocorrelation([]float64{1, 2}); err == nil {
+		t.Fatal("too short")
+	}
+}

@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fitted is a continuous distribution fitted to data, exposing what the
+// goodness-of-fit machinery and Q-Q plots need.
+type Fitted interface {
+	// Name identifies the family ("exponential", "lognormal", "weibull").
+	Name() string
+	// CDF evaluates the cumulative distribution function.
+	CDF(x float64) float64
+	// InvCDF evaluates the quantile function for p in (0, 1).
+	InvCDF(p float64) float64
+	// PDF evaluates the density.
+	PDF(x float64) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// String renders the fitted parameters.
+	String() string
+}
+
+// ExpFit is an exponential distribution fitted by maximum likelihood
+// (the MLE of the mean is the sample mean, Law & Kelton §6.5).
+type ExpFit struct{ MeanVal float64 }
+
+// FitExponential fits an exponential distribution to xs by MLE.
+func FitExponential(xs []float64) (ExpFit, error) {
+	if len(xs) == 0 {
+		return ExpFit{}, ErrEmptySample
+	}
+	m := MeanOf(xs)
+	if m <= 0 {
+		return ExpFit{}, errors.New("stats: exponential fit needs positive mean")
+	}
+	return ExpFit{MeanVal: m}, nil
+}
+
+// Name implements Fitted.
+func (e ExpFit) Name() string { return "exponential" }
+
+// CDF implements Fitted.
+func (e ExpFit) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.MeanVal)
+}
+
+// InvCDF implements Fitted.
+func (e ExpFit) InvCDF(p float64) float64 { return -e.MeanVal * math.Log(1-p) }
+
+// PDF implements Fitted.
+func (e ExpFit) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Exp(-x/e.MeanVal) / e.MeanVal
+}
+
+// Mean implements Fitted.
+func (e ExpFit) Mean() float64 { return e.MeanVal }
+
+func (e ExpFit) String() string { return fmt.Sprintf("exponential(%.4g)", e.MeanVal) }
+
+// LognormalFit is a lognormal distribution with underlying normal
+// parameters Mu and Sigma, fitted by MLE on the logs.
+type LognormalFit struct{ Mu, Sigma float64 }
+
+// FitLognormal fits a lognormal distribution by MLE: Mu and Sigma are the
+// mean and standard deviation of ln(x). All observations must be positive.
+func FitLognormal(xs []float64) (LognormalFit, error) {
+	if len(xs) == 0 {
+		return LognormalFit{}, ErrEmptySample
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LognormalFit{}, errors.New("stats: lognormal fit needs positive data")
+		}
+		logs[i] = math.Log(x)
+	}
+	s := Summarize(logs)
+	// MLE uses the n-denominator variance of the logs.
+	sigma := s.SD
+	if s.N > 1 {
+		sigma = s.SD * math.Sqrt(float64(s.N-1)/float64(s.N))
+	}
+	if sigma == 0 {
+		sigma = 1e-12 // degenerate one-point sample; keep CDF well defined
+	}
+	return LognormalFit{Mu: s.Mean, Sigma: sigma}, nil
+}
+
+// Name implements Fitted.
+func (l LognormalFit) Name() string { return "lognormal" }
+
+// CDF implements Fitted.
+func (l LognormalFit) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// InvCDF implements Fitted.
+func (l LognormalFit) InvCDF(p float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*NormalInvCDF(p))
+}
+
+// PDF implements Fitted.
+func (l LognormalFit) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Mean implements Fitted.
+func (l LognormalFit) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// SD returns the standard deviation of the fitted lognormal variate, the
+// second parameter of the "lognormal(a, b)" notation in Table 2.
+func (l LognormalFit) SD() float64 {
+	v := (math.Exp(l.Sigma*l.Sigma) - 1) * math.Exp(2*l.Mu+l.Sigma*l.Sigma)
+	return math.Sqrt(v)
+}
+
+func (l LognormalFit) String() string {
+	return fmt.Sprintf("lognormal(%.4g, %.4g)", l.Mean(), l.SD())
+}
+
+// WeibullFit is a Weibull distribution fitted by MLE.
+type WeibullFit struct{ Shape, Scale float64 }
+
+// FitWeibull fits a Weibull distribution by maximum likelihood, solving the
+// profile-likelihood shape equation with Newton's method (Law & Kelton
+// §6.5). All observations must be positive.
+func FitWeibull(xs []float64) (WeibullFit, error) {
+	if len(xs) == 0 {
+		return WeibullFit{}, ErrEmptySample
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return WeibullFit{}, errors.New("stats: weibull fit needs positive data")
+		}
+		logs[i] = math.Log(x)
+	}
+	n := float64(len(xs))
+	meanLog := MeanOf(logs)
+
+	// g(k) = sum(x^k ln x)/sum(x^k) - 1/k - meanLog = 0.
+	g := func(k float64) (val, deriv float64) {
+		var s0, s1, s2 float64
+		for i, x := range xs {
+			xk := math.Pow(x, k)
+			s0 += xk
+			s1 += xk * logs[i]
+			s2 += xk * logs[i] * logs[i]
+		}
+		val = s1/s0 - 1/k - meanLog
+		deriv = (s2*s0-s1*s1)/(s0*s0) + 1/(k*k)
+		return val, deriv
+	}
+
+	// Menon's moment-based starting point: shape ~ pi/(sd(ln x)*sqrt(6)).
+	sLog := Summarize(logs)
+	k := 1.0
+	if sLog.SD > 0 {
+		k = math.Pi / (sLog.SD * math.Sqrt(6))
+	}
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		k = 1
+	}
+	for i := 0; i < 100; i++ {
+		val, deriv := g(k)
+		if deriv == 0 {
+			break
+		}
+		next := k - val/deriv
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-10*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return WeibullFit{}, errors.New("stats: weibull MLE did not converge")
+	}
+	var sk float64
+	for _, x := range xs {
+		sk += math.Pow(x, k)
+	}
+	scale := math.Pow(sk/n, 1/k)
+	return WeibullFit{Shape: k, Scale: scale}, nil
+}
+
+// Name implements Fitted.
+func (w WeibullFit) Name() string { return "weibull" }
+
+// CDF implements Fitted.
+func (w WeibullFit) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// InvCDF implements Fitted.
+func (w WeibullFit) InvCDF(p float64) float64 {
+	return w.Scale * math.Pow(-math.Log(1-p), 1/w.Shape)
+}
+
+// PDF implements Fitted.
+func (w WeibullFit) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x / w.Scale
+	return (w.Shape / w.Scale) * math.Pow(z, w.Shape-1) * math.Exp(-math.Pow(z, w.Shape))
+}
+
+// Mean implements Fitted.
+func (w WeibullFit) Mean() float64 {
+	lg, _ := math.Lgamma(1 + 1/w.Shape)
+	return w.Scale * math.Exp(lg)
+}
+
+func (w WeibullFit) String() string {
+	return fmt.Sprintf("weibull(shape=%.4g, scale=%.4g)", w.Shape, w.Scale)
+}
+
+// FitResult pairs a fitted candidate with its goodness-of-fit measures.
+type FitResult struct {
+	Dist  Fitted
+	KS    float64 // Kolmogorov-Smirnov statistic
+	QQvsR float64 // Q-Q correlation coefficient
+}
+
+// FitBest fits the exponential, lognormal, and Weibull families (the three
+// candidates compared in Figure 8) plus the gamma family (a standard
+// fourth candidate for service-time data) and returns the best fit — the
+// smallest K-S statistic — along with every candidate considered.
+func FitBest(xs []float64) (best FitResult, all []FitResult, err error) {
+	if len(xs) == 0 {
+		return FitResult{}, nil, ErrEmptySample
+	}
+	var cands []Fitted
+	if e, err := FitExponential(xs); err == nil {
+		cands = append(cands, e)
+	}
+	if l, err := FitLognormal(xs); err == nil {
+		cands = append(cands, l)
+	}
+	if w, err := FitWeibull(xs); err == nil {
+		cands = append(cands, w)
+	}
+	if g, err := FitGamma(xs); err == nil {
+		cands = append(cands, g)
+	}
+	if len(cands) == 0 {
+		return FitResult{}, nil, errors.New("stats: no candidate distribution could be fitted")
+	}
+	for _, c := range cands {
+		ks := KSStatistic(xs, c.CDF)
+		qq, qerr := QQSeries(xs, c.InvCDF)
+		r := 0.0
+		if qerr == nil {
+			r = QQCorrelation(qq)
+		}
+		all = append(all, FitResult{Dist: c, KS: ks, QQvsR: r})
+	}
+	best = all[0]
+	for _, f := range all[1:] {
+		if f.KS < best.KS {
+			best = f
+		}
+	}
+	return best, all, nil
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// GammaFit is a gamma distribution fitted by maximum likelihood.
+type GammaFit struct{ Shape, Scale float64 }
+
+// FitGamma fits a gamma distribution by MLE: the shape solves
+// ln(k) - psi(k) = ln(mean) - mean(ln x) via Newton iterations started at
+// Minka's closed-form approximation; the scale is mean/shape.
+func FitGamma(xs []float64) (GammaFit, error) {
+	if len(xs) == 0 {
+		return GammaFit{}, ErrEmptySample
+	}
+	var sum, sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			return GammaFit{}, errors.New("stats: gamma fit needs positive data")
+		}
+		sum += x
+		sumLog += math.Log(x)
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	s := math.Log(mean) - sumLog/n // always >= 0 by Jensen
+	if s <= 1e-12 {
+		// Nearly degenerate sample: huge shape, tiny CV.
+		return GammaFit{Shape: 1e6, Scale: mean / 1e6}, nil
+	}
+	// Minka's initial estimate.
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	if k <= 0 || math.IsNaN(k) {
+		k = 1
+	}
+	for i := 0; i < 100; i++ {
+		f := math.Log(k) - digamma(k) - s
+		fp := 1/k - trigamma(k)
+		if fp == 0 {
+			break
+		}
+		next := k - f/fp
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return GammaFit{}, errors.New("stats: gamma MLE did not converge")
+	}
+	return GammaFit{Shape: k, Scale: mean / k}, nil
+}
+
+// Name implements Fitted.
+func (g GammaFit) Name() string { return "gamma" }
+
+// CDF implements Fitted via the regularized lower incomplete gamma.
+func (g GammaFit) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(g.Shape, x/g.Scale)
+}
+
+// InvCDF implements Fitted by bisection on the CDF (monotone), refined to
+// ~1e-10 relative accuracy — ample for Q-Q plots and chi-square cells.
+func (g GammaFit) InvCDF(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Bracket: mean * 2^k.
+	lo, hi := 0.0, g.Shape*g.Scale
+	for g.CDF(hi) < p {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*hi {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// PDF implements Fitted.
+func (g GammaFit) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(g.Shape)
+	logPDF := (g.Shape-1)*math.Log(x) - x/g.Scale - g.Shape*math.Log(g.Scale) - lg
+	return math.Exp(logPDF)
+}
+
+// Mean implements Fitted.
+func (g GammaFit) Mean() float64 { return g.Shape * g.Scale }
+
+func (g GammaFit) String() string {
+	return fmt.Sprintf("gamma(shape=%.4g, scale=%.4g)", g.Shape, g.Scale)
+}
+
+// digamma computes psi(x) via the recurrence to x >= 6 plus the
+// asymptotic series.
+func digamma(x float64) float64 {
+	result := 0.0
+	for x < 10 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - inv/2 -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// trigamma computes psi'(x) the same way.
+func trigamma(x float64) float64 {
+	result := 0.0
+	for x < 10 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += inv * (1 + inv/2 + inv2*(1.0/6-inv2*(1.0/30-inv2/42)))
+	return result
+}
+
+// regIncGammaLower computes P(a, x), the regularized lower incomplete
+// gamma function, via the series (x < a+1) or continued fraction
+// (x >= a+1) — Numerical Recipes' gammp.
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a, x).
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/rng"
+)
+
+func TestGammaVariateMoments(t *testing.T) {
+	r := rng.New(31)
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 200}, {1, 100}, {2.5, 80}, {9, 30},
+	} {
+		var sum, sum2 float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("non-positive gamma variate %v", v)
+			}
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Errorf("gamma(%v,%v) mean %v, want %v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.08 {
+			t.Errorf("gamma(%v,%v) var %v, want %v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaDistInterface(t *testing.T) {
+	g := rng.GammaDist{Shape: 2, Scale: 50}
+	if g.Mean() != 100 {
+		t.Fatal("mean")
+	}
+	if g.String() == "" {
+		t.Fatal("string")
+	}
+	if v := g.Sample(rng.New(1)); v <= 0 {
+		t.Fatal("sample")
+	}
+}
+
+func TestFitGammaRecovers(t *testing.T) {
+	r := rng.New(32)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Gamma(2.5, 120)
+	}
+	fit, err := FitGamma(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-2.5)/2.5 > 0.05 {
+		t.Fatalf("shape %v, want ~2.5", fit.Shape)
+	}
+	if math.Abs(fit.Scale-120)/120 > 0.05 {
+		t.Fatalf("scale %v, want ~120", fit.Scale)
+	}
+	if fit.Name() != "gamma" || fit.String() == "" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestFitGammaErrors(t *testing.T) {
+	if _, err := FitGamma(nil); err == nil {
+		t.Fatal("empty")
+	}
+	if _, err := FitGamma([]float64{1, -1}); err == nil {
+		t.Fatal("non-positive data")
+	}
+	// Nearly constant data: degenerate high-shape fit, no error.
+	fit, err := FitGamma([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean()-5) > 1e-6 {
+		t.Fatalf("degenerate mean %v", fit.Mean())
+	}
+}
+
+func TestGammaCDFKnownValues(t *testing.T) {
+	// Gamma(1, 1) is Exp(1): CDF(x) = 1 - e^-x.
+	g := GammaFit{Shape: 1, Scale: 1}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := g.CDF(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Gamma(k, theta) at the mean for large k approaches 0.5.
+	big := GammaFit{Shape: 400, Scale: 1}
+	if got := big.CDF(400); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("large-shape median CDF %v", got)
+	}
+	if g.CDF(-1) != 0 || g.PDF(-1) != 0 {
+		t.Error("negative support")
+	}
+}
+
+func TestGammaInvCDFRoundTrip(t *testing.T) {
+	g := GammaFit{Shape: 2.5, Scale: 120}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := g.InvCDF(p)
+		if got := g.CDF(x); math.Abs(got-p) > 1e-8 {
+			t.Errorf("round trip p=%v: got %v", p, got)
+		}
+	}
+	if g.InvCDF(0) != 0 || !math.IsInf(g.InvCDF(1), 1) {
+		t.Error("boundary quantiles")
+	}
+}
+
+func TestGammaPDFIntegratesToCDF(t *testing.T) {
+	g := GammaFit{Shape: 3, Scale: 10}
+	upper := g.InvCDF(0.9)
+	const steps = 20000
+	h := upper / steps
+	integral := 0.0
+	for i := 0; i < steps; i++ {
+		a, b := float64(i)*h, float64(i+1)*h
+		integral += (g.PDF(a) + g.PDF(b)) / 2 * h
+	}
+	if math.Abs(integral-0.9) > 1e-3 {
+		t.Fatalf("pdf integral to q90 = %v", integral)
+	}
+}
+
+func TestDigammaTrigamma(t *testing.T) {
+	// psi(1) = -gamma (Euler-Mascheroni).
+	if got := digamma(1); math.Abs(got+0.5772156649015329) > 1e-10 {
+		t.Fatalf("digamma(1) = %v", got)
+	}
+	// psi(2) = 1 - gamma.
+	if got := digamma(2); math.Abs(got-(1-0.5772156649015329)) > 1e-10 {
+		t.Fatalf("digamma(2) = %v", got)
+	}
+	// psi'(1) = pi^2/6.
+	if got := trigamma(1); math.Abs(got-math.Pi*math.Pi/6) > 1e-10 {
+		t.Fatalf("trigamma(1) = %v", got)
+	}
+}
+
+func TestFitBestIncludesGamma(t *testing.T) {
+	r := rng.New(33)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Gamma(4, 50) // distinctly non-exponential, non-lognormal
+	}
+	best, all, err := FitBest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("want 4 candidates, got %d", len(all))
+	}
+	// Gamma data: the gamma fit should win or essentially tie (Weibull can
+	// come close); require gamma to be within 1.5x of the winner's KS.
+	var gammaKS float64
+	for _, f := range all {
+		if f.Dist.Name() == "gamma" {
+			gammaKS = f.KS
+		}
+	}
+	if gammaKS == 0 {
+		t.Fatal("gamma candidate missing")
+	}
+	if gammaKS > 1.5*best.KS {
+		t.Fatalf("gamma KS %v far from best %v (%s)", gammaKS, best.KS, best.Dist.Name())
+	}
+}

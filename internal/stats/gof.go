@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sided Kolmogorov-Smirnov statistic D_n, the
+// maximum absolute distance between the empirical CDF of xs and the
+// theoretical CDF. Smaller is a better fit.
+func KSStatistic(xs []float64, cdf func(float64) float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		dPlus := (float64(i)+1)/n - f
+		dMinus := f - float64(i)/n
+		if dPlus > d {
+			d = dPlus
+		}
+		if dMinus > d {
+			d = dMinus
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the approximate critical value of the K-S
+// statistic for sample size n at significance alpha (two-sided), using the
+// asymptotic c(alpha)/sqrt(n) form. Supported alphas: 0.10, 0.05, 0.01.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, ErrEmptySample
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.224
+	case 0.05:
+		c = 1.358
+	case 0.01:
+		c = 1.628
+	default:
+		return 0, errors.New("stats: unsupported K-S alpha (use 0.10, 0.05, or 0.01)")
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// ChiSquareGOF performs a chi-square goodness-of-fit test by binning xs
+// into equal-probability cells of the theoretical distribution (Law &
+// Kelton's recommended construction). It returns the test statistic and its
+// degrees of freedom (cells - 1 - paramsEstimated).
+func ChiSquareGOF(xs []float64, invCDF func(float64) float64, cells, paramsEstimated int) (stat float64, df int, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptySample
+	}
+	if cells < 2 {
+		return 0, 0, errors.New("stats: chi-square needs at least 2 cells")
+	}
+	expected := float64(len(xs)) / float64(cells)
+	// Cell boundaries at equal-probability quantiles.
+	bounds := make([]float64, cells-1)
+	for i := range bounds {
+		bounds[i] = invCDF(float64(i+1) / float64(cells))
+	}
+	counts := make([]int, cells)
+	for _, x := range xs {
+		i := sort.SearchFloat64s(bounds, x)
+		counts[i]++
+	}
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df = cells - 1 - paramsEstimated
+	if df < 1 {
+		df = 1
+	}
+	return stat, df, nil
+}
+
+// ChiSquareCritical returns an approximate upper critical value of the
+// chi-square distribution with df degrees of freedom at significance alpha,
+// via the Wilson-Hilferty normal approximation.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	z := NormalInvCDF(1 - alpha)
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// Cluster is one cluster of a one-dimensional k-means partition.
+type Cluster struct {
+	Center float64
+	Count  int
+	// Low and High bound the member values.
+	Low, High float64
+}
+
+// KMeans1D partitions xs into k clusters with Lloyd's algorithm,
+// deterministically seeded at equally spaced sample quantiles — the
+// cluster-based workload characterization of Hughes [13], used to build
+// drive workloads from measured request lengths. Clusters are returned in
+// increasing center order; empty clusters are dropped.
+func KMeans1D(xs []float64, k int) ([]Cluster, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if k < 1 {
+		return nil, errors.New("stats: k must be >= 1")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+
+	centers := make([]float64, k)
+	for i := range centers {
+		q := (float64(i) + 0.5) / float64(k)
+		centers[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+
+	assign := make([]int, len(sorted))
+	for iter := 0; iter < 200; iter++ {
+		// Assignment: for sorted data and sorted centers, boundaries are
+		// midpoints between adjacent centers.
+		changed := false
+		ci := 0
+		for i, x := range sorted {
+			for ci < k-1 && x > (centers[ci]+centers[ci+1])/2 {
+				ci++
+			}
+			if assign[i] != ci {
+				assign[i] = ci
+				changed = true
+			}
+		}
+		// Update.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, x := range sorted {
+			sums[assign[i]] += x
+			counts[assign[i]]++
+		}
+		for i := range centers {
+			if counts[i] > 0 {
+				centers[i] = sums[i] / float64(counts[i])
+			}
+		}
+		sort.Float64s(centers)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	out := make([]Cluster, 0, k)
+	for ci := 0; ci < k; ci++ {
+		var c Cluster
+		first := true
+		for i, x := range sorted {
+			if assign[i] != ci {
+				continue
+			}
+			if first {
+				c.Low, c.High = x, x
+				first = false
+			}
+			c.Center += x
+			c.Count++
+			if x < c.Low {
+				c.Low = x
+			}
+			if x > c.High {
+				c.High = x
+			}
+		}
+		if c.Count > 0 {
+			c.Center /= float64(c.Count)
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// WithinClusterSS returns the total within-cluster sum of squares of a
+// partition applied to xs — the elbow-curve quantity used to pick k.
+func WithinClusterSS(xs []float64, clusters []Cluster) float64 {
+	ss := 0.0
+	for _, x := range xs {
+		best := 0.0
+		for i, c := range clusters {
+			d := (x - c.Center) * (x - c.Center)
+			if i == 0 || d < best {
+				best = d
+			}
+		}
+		ss += best
+	}
+	return ss
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/rng"
+)
+
+func TestKMeans1DSeparatesModes(t *testing.T) {
+	// Two tight modes at 10 and 100.
+	r := rng.New(91)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = r.Normal(10, 1)
+		} else {
+			xs[i] = r.Normal(100, 2)
+		}
+	}
+	clusters, err := KMeans1D(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("%d clusters", len(clusters))
+	}
+	if math.Abs(clusters[0].Center-10) > 1 || math.Abs(clusters[1].Center-100) > 2 {
+		t.Fatalf("centers %v, %v", clusters[0].Center, clusters[1].Center)
+	}
+	if clusters[0].Count+clusters[1].Count != len(xs) {
+		t.Fatal("members lost")
+	}
+	if clusters[0].Count < 900 || clusters[1].Count < 900 {
+		t.Fatalf("unbalanced: %d/%d", clusters[0].Count, clusters[1].Count)
+	}
+	if clusters[0].High >= clusters[1].Low {
+		t.Fatal("cluster ranges overlap for well-separated modes")
+	}
+}
+
+func TestKMeans1DMoreClustersReduceSS(t *testing.T) {
+	r := rng.New(92)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = r.Lognormal(2213, 3034)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		clusters, err := KMeans1D(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := WithinClusterSS(xs, clusters)
+		if ss > prev+1e-6 {
+			t.Fatalf("k=%d: SS %v exceeds previous %v", k, ss, prev)
+		}
+		prev = ss
+	}
+}
+
+func TestKMeans1DEdgeCases(t *testing.T) {
+	if _, err := KMeans1D(nil, 2); err == nil {
+		t.Fatal("empty sample")
+	}
+	if _, err := KMeans1D([]float64{1}, 0); err == nil {
+		t.Fatal("k=0")
+	}
+	// k greater than n clamps.
+	clusters, err := KMeans1D([]float64{5, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) > 2 {
+		t.Fatalf("%d clusters for 2 points", len(clusters))
+	}
+	// k=1 gives the mean.
+	clusters, err = KMeans1D([]float64{2, 4, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || math.Abs(clusters[0].Center-4) > 1e-12 {
+		t.Fatalf("%+v", clusters)
+	}
+	// Constant data.
+	clusters, err = KMeans1D([]float64{3, 3, 3, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Count
+		if c.Center != 3 {
+			t.Fatalf("constant center %v", c.Center)
+		}
+	}
+	if total != 4 {
+		t.Fatal("members lost on constant data")
+	}
+}
+
+func TestMixtureDist(t *testing.T) {
+	m := rng.Mixture{
+		Components: []rng.Dist{rng.Constant{Value: 10}, rng.Constant{Value: 100}},
+		Weights:    []float64{3, 1},
+	}
+	if math.Abs(m.Mean()-32.5) > 1e-12 { // (3*10 + 1*100)/4
+		t.Fatalf("mixture mean %v", m.Mean())
+	}
+	r := rng.New(93)
+	counts := map[float64]int{}
+	for i := 0; i < 40000; i++ {
+		counts[m.Sample(r)]++
+	}
+	frac := float64(counts[10]) / 40000
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("component weighting off: %v", frac)
+	}
+	// Degenerate mixtures.
+	if (rng.Mixture{}).Mean() != 0 || (rng.Mixture{}).Sample(r) != 0 {
+		t.Fatal("empty mixture")
+	}
+	zero := rng.Mixture{Components: []rng.Dist{rng.Constant{Value: 5}}, Weights: []float64{0}}
+	if zero.Sample(r) != 5 {
+		t.Fatal("zero-weight mixture should fall back to uniform choice")
+	}
+	if zero.Mean() != 0 {
+		t.Fatal("zero-total weights mean convention")
+	}
+	if m.String() == "" {
+		t.Fatal("string")
+	}
+}

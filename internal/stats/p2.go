@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the P² (P-squared) streaming quantile estimator of Jain &
+// Chlamtac (1985) — fittingly, by the same Jain whose experiment-design
+// methodology the paper uses. It estimates a single quantile in O(1)
+// space, letting the simulator report monitoring-latency percentiles
+// without retaining per-sample observations.
+type P2Quantile struct {
+	p float64
+	// marker heights, positions, and desired positions
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+
+	count int
+	init  []float64
+}
+
+// NewP2Quantile creates an estimator for the p-quantile (0 < p < 1).
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, errors.New("stats: P2 quantile p must be in (0,1)")
+	}
+	e := &P2Quantile{p: p}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.count < 5 {
+		e.init = append(e.init, x)
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.n[i] = float64(i + 1)
+			}
+			e.np = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.init = nil
+		}
+		return
+	}
+	e.count++
+
+	// Find the cell containing x and update extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < e.q[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust interior markers with the parabolic (or linear) formula.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := math.Copysign(1, d)
+			qNew := e.parabolic(i, sign)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	return e.q[i] + d*(e.q[i+int(d)]-e.q[i])/(e.n[i+int(d)]-e.n[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the sample quantile of what has been seen (0
+// for an empty stream).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		sorted := append([]float64(nil), e.init...)
+		sort.Float64s(sorted)
+		v, _ := Quantile(sorted, e.p)
+		return v
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations seen.
+func (e *P2Quantile) N() int { return e.count }

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func p2Estimate(t *testing.T, p float64, xs []float64) float64 {
+	t.Helper()
+	e, err := NewP2Quantile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		e.Add(x)
+	}
+	if e.N() != len(xs) {
+		t.Fatalf("N = %d", e.N())
+	}
+	return e.Value()
+}
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	r := rng.New(81)
+	const n = 100000
+	for _, dist := range []struct {
+		name string
+		gen  func() float64
+	}{
+		{"normal", func() float64 { return r.Normal(100, 15) }},
+		{"exponential", func() float64 { return r.Exp(50) }},
+		{"lognormal", func() float64 { return r.Lognormal(2213, 3034) }},
+	} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = dist.gen()
+		}
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			got := p2Estimate(t, p, xs)
+			want, err := Quantile(xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(got-want) / (math.Abs(want) + 1); rel > 0.05 {
+				t.Errorf("%s q%.2f: P2 %v vs exact %v (%.1f%% off)",
+					dist.name, p, got, want, rel*100)
+			}
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value() != 0 {
+		t.Fatal("empty stream should be 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 2 {
+		t.Fatalf("median of {1,2,3} = %v", got)
+	}
+}
+
+func TestP2Errors(t *testing.T) {
+	if _, err := NewP2Quantile(0); err == nil {
+		t.Fatal("p=0")
+	}
+	if _, err := NewP2Quantile(1); err == nil {
+		t.Fatal("p=1")
+	}
+}
+
+// Property: the P2 estimate is always within the observed range and
+// non-decreasing in p for the same data.
+func TestQuickP2Bounded(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16)%2000 + 10
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Exp(100)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := -math.MaxFloat64
+		for _, p := range []float64{0.25, 0.5, 0.75, 0.95} {
+			e, err := NewP2Quantile(p)
+			if err != nil {
+				return false
+			}
+			for _, x := range xs {
+				e.Add(x)
+			}
+			v := e.Value()
+			if v < sorted[0]-1e-9 || v > sorted[len(sorted)-1]+1e-9 {
+				return false
+			}
+			// Allow tiny non-monotonicity from independent estimators.
+			if v < prev-0.05*(sorted[len(sorted)-1]-sorted[0]) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

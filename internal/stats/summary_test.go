@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample SD with n-1: variance = 32/7.
+	if !almost(s.SD, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("SD = %v", s.SD)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almost(s.Sum, 40, 1e-12) {
+		t.Fatalf("Sum = %v", s.Sum)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.SD != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.SD != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryDerived(t *testing.T) {
+	s := Summary{Mean: 10, SD: 2}
+	if !almost(s.Variance(), 4, 1e-12) {
+		t.Fatal("variance")
+	}
+	if !almost(s.CV(), 0.2, 1e-12) {
+		t.Fatal("cv")
+	}
+	if (Summary{}).CV() != 0 {
+		t.Fatal("cv of zero-mean should be 0")
+	}
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	r := rng.New(8)
+	xs := make([]float64, 5000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = r.Lognormal(2213, 3034)
+		acc.Add(xs[i])
+	}
+	want := Summarize(xs)
+	got := acc.Summary()
+	if got.N != want.N || !almost(got.Mean, want.Mean, 1e-9) ||
+		!almost(got.SD, want.SD, 1e-9) || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("accumulator %+v != summarize %+v", got, want)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.SD() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	acc.Add(5)
+	if acc.SD() != 0 {
+		t.Fatal("single-observation SD should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.p)
+		if err != nil || !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, %v; want %v", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("expected error on p out of range")
+	}
+	m, err := Median([]float64{9})
+	if err != nil || m != 9 {
+		t.Fatal("median of singleton")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+// Property: mean lies within [min, max] and SD >= 0 for any sample.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.SD >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accumulator and batch summary agree on any sane input.
+func TestQuickAccumulatorAgrees(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var acc Accumulator
+		for _, v := range xs {
+			acc.Add(v)
+		}
+		want := Summarize(xs)
+		tol := 1e-6 * (1 + math.Abs(want.Mean))
+		return acc.N() == want.N && almost(acc.Mean(), want.Mean, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeTotals(t *testing.T) {
+	recs := []Record{
+		{StartUS: 0, PID: 1, Process: ProcApplication, Resource: CPU, DurationUS: 100},
+		{StartUS: 100, PID: 1, Process: ProcApplication, Resource: Network, DurationUS: 50},
+		{StartUS: 150, PID: 2, Process: ProcApplication, Resource: CPU, DurationUS: 200},
+		{StartUS: 350, PID: 3, Process: ProcPd, Resource: CPU, DurationUS: 30},
+	}
+	an, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Records != 4 || an.DurationUS != 380 {
+		t.Fatalf("records %d, duration %v", an.Records, an.DurationUS)
+	}
+	app, ok := an.TotalsFor(ProcApplication)
+	if !ok {
+		t.Fatal("application missing")
+	}
+	if app.CPUTimeUS != 300 || app.NetTimeUS != 50 || app.CPUCount != 2 || app.NetCount != 1 {
+		t.Fatalf("app totals %+v", app)
+	}
+	if len(app.PIDs) != 2 || app.PIDs[0] != 1 || app.PIDs[1] != 2 {
+		t.Fatalf("app pids %v", app.PIDs)
+	}
+	if app.FirstUS != 0 || app.LastEndUS != 350 {
+		t.Fatalf("app span %v-%v", app.FirstUS, app.LastEndUS)
+	}
+	// Application first in the ordering, pd second.
+	if an.Totals[0].Class != ProcApplication || an.Totals[1].Class != ProcPd {
+		t.Fatalf("ordering %v, %v", an.Totals[0].Class, an.Totals[1].Class)
+	}
+	if got := an.CPUShare(ProcApplication); math.Abs(got-300.0/380) > 1e-12 {
+		t.Fatalf("cpu share %v", got)
+	}
+	if an.CPUShare("missing") != 0 {
+		t.Fatal("missing class share should be 0")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+	bad := []Record{{StartUS: 0, PID: 1, Process: "x", Resource: CPU, DurationUS: -1}}
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("invalid record should fail")
+	}
+}
+
+func TestAnalyzeUnknownClassOrdering(t *testing.T) {
+	recs := []Record{
+		{StartUS: 0, PID: 1, Process: "zebra", Resource: CPU, DurationUS: 10},
+		{StartUS: 0, PID: 1, Process: ProcPd, Resource: CPU, DurationUS: 10},
+	}
+	an, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Totals[0].Class != ProcPd || an.Totals[1].Class != "zebra" {
+		t.Fatalf("known classes must come first: %+v", an.Totals)
+	}
+}
+
+func TestTimelineSplitsAcrossWindows(t *testing.T) {
+	recs := []Record{
+		// One 100-us CPU burst spanning the boundary of two 100-us windows.
+		{StartUS: 50, PID: 1, Process: ProcApplication, Resource: CPU, DurationUS: 100},
+		// Fixes the trace span at 200 us.
+		{StartUS: 199, PID: 2, Process: ProcPd, Resource: CPU, DurationUS: 1},
+	}
+	classes, shares, err := Timeline(recs, CPU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appIdx int = -1
+	for i, c := range classes {
+		if c == ProcApplication {
+			appIdx = i
+		}
+	}
+	if appIdx < 0 {
+		t.Fatal("application missing from timeline")
+	}
+	// 50 us in each window => 0.5 share in both.
+	if math.Abs(shares[appIdx][0]-0.5) > 1e-12 || math.Abs(shares[appIdx][1]-0.5) > 1e-12 {
+		t.Fatalf("split shares %v", shares[appIdx])
+	}
+}
+
+func TestTimelineFiltersResource(t *testing.T) {
+	recs := []Record{
+		{StartUS: 0, PID: 1, Process: ProcApplication, Resource: Network, DurationUS: 100},
+	}
+	_, shares, err := Timeline(recs, CPU, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range shares {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("network records must not appear in CPU timeline")
+			}
+		}
+	}
+}
+
+func TestTimelineErrors(t *testing.T) {
+	if _, _, err := Timeline(nil, CPU, 4); err == nil {
+		t.Fatal("empty trace")
+	}
+	recs := []Record{{StartUS: 0, PID: 1, Process: "a", Resource: CPU, DurationUS: 1}}
+	if _, _, err := Timeline(recs, CPU, 0); err == nil {
+		t.Fatal("zero windows")
+	}
+}
+
+func TestTimelineConservation(t *testing.T) {
+	// Total share*width across windows equals total occupancy.
+	recs, err := Generate(GenConfig{Seed: 21, DurationUS: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, shares, err := Timeline(recs, CPU, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := an.DurationUS / 37
+	for i, class := range classes {
+		sum := 0.0
+		for _, s := range shares[i] {
+			sum += s * width
+		}
+		want, _ := an.TotalsFor(class)
+		if math.Abs(sum-want.CPUTimeUS) > 1e-6*(1+want.CPUTimeUS) {
+			t.Fatalf("%s: timeline total %v != analyzed %v", class, sum, want.CPUTimeUS)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText: the text parser must never panic, and anything it accepts
+// must survive a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	f.Add("# rocc-trace v1\n100.0 1 application cpu 50.0\n")
+	f.Add("")
+	f.Add("1 2 3\n")
+	f.Add("100 1 application cpu 50\n200 2 pd net 7\n")
+	f.Add("nan 1 application cpu 50\n")
+	f.Add("1e300 1 application cpu 1e300\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, recs); err != nil {
+			// Accepted records must be writable: Validate passed on read.
+			t.Fatalf("accepted records failed to write: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+	})
+}
+
+// FuzzReadBinary: the binary parser must never panic or over-allocate on
+// malformed input.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteBinary(&valid, []Record{
+		{StartUS: 1, PID: 2, Process: ProcApplication, Resource: CPU, DurationUS: 3},
+	})
+	f.Add(valid.Bytes())
+	f.Add([]byte("RTR1"))
+	f.Add([]byte{})
+	f.Add([]byte("RTR1\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		recs, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round trip.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, recs); err != nil {
+			// Binary reader does not validate durations; writing may
+			// legitimately reject, which is fine.
+			return
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil || len(again) != len(recs) {
+			t.Fatalf("round trip: %v (%d -> %d)", err, len(recs), len(again))
+		}
+	})
+}

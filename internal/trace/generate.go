@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"errors"
+
+	"rocc/internal/rng"
+)
+
+// Process-class labels used by the generator and the characterization
+// pipeline (the rows of Table 1).
+const (
+	ProcApplication = "application"
+	ProcPd          = "pd"
+	ProcPvmd        = "pvmd"
+	ProcOther       = "other"
+	ProcParadyn     = "paradyn"
+)
+
+// Classes lists the process classes in Table 1 row order.
+var Classes = []string{ProcApplication, ProcPd, ProcPvmd, ProcOther, ProcParadyn}
+
+// GenConfig parameterizes synthetic trace generation for one SP-2 node
+// running an instrumented NAS benchmark under PVM, plus the host node
+// running the main Paradyn process.
+type GenConfig struct {
+	Seed       uint64
+	DurationUS float64
+
+	// SamplingPeriodUS drives the Paradyn daemon's collection activity.
+	SamplingPeriodUS float64
+
+	// Distributions for each process class; zero values take the Table 2
+	// defaults via Normalize.
+	AppCPU, AppNet   rng.Dist
+	PdCPU, PdNet     rng.Dist
+	PvmCPU, PvmNet   rng.Dist
+	PvmInterarrival  rng.Dist
+	OtherCPU         rng.Dist
+	OtherNet         rng.Dist
+	OtherCPUGap      rng.Dist
+	OtherNetGap      rng.Dist
+	ParadynCPU       rng.Dist
+	ParadynArrival   rng.Dist // message arrivals at the main process
+	IncludeMainTrace bool     // also emit the host node's paradyn records
+}
+
+// Normalize fills defaults (Table 2) and validates.
+func (g GenConfig) Normalize() (GenConfig, error) {
+	if g.DurationUS <= 0 {
+		return g, errors.New("trace: DurationUS must be positive")
+	}
+	if g.SamplingPeriodUS <= 0 {
+		g.SamplingPeriodUS = 40000
+	}
+	def := func(d rng.Dist, fallback rng.Dist) rng.Dist {
+		if d == nil {
+			return fallback
+		}
+		return d
+	}
+	g.AppCPU = def(g.AppCPU, rng.Lognormal{MeanVal: 2213, SD: 3034})
+	g.AppNet = def(g.AppNet, rng.Exponential{MeanVal: 223})
+	g.PdCPU = def(g.PdCPU, rng.Exponential{MeanVal: 267})
+	g.PdNet = def(g.PdNet, rng.Exponential{MeanVal: 71})
+	g.PvmCPU = def(g.PvmCPU, rng.Lognormal{MeanVal: 294, SD: 206})
+	g.PvmNet = def(g.PvmNet, rng.Exponential{MeanVal: 58})
+	g.PvmInterarrival = def(g.PvmInterarrival, rng.Exponential{MeanVal: 6485})
+	g.OtherCPU = def(g.OtherCPU, rng.Lognormal{MeanVal: 367, SD: 819})
+	g.OtherNet = def(g.OtherNet, rng.Exponential{MeanVal: 92})
+	g.OtherCPUGap = def(g.OtherCPUGap, rng.Exponential{MeanVal: 31485})
+	g.OtherNetGap = def(g.OtherNetGap, rng.Exponential{MeanVal: 5598903})
+	g.ParadynCPU = def(g.ParadynCPU, rng.Lognormal{MeanVal: 3208, SD: 3287})
+	g.ParadynArrival = def(g.ParadynArrival, rng.Exponential{MeanVal: 5000})
+	return g, nil
+}
+
+// Generate produces a synthetic AIX-like occupancy trace. Records are
+// returned sorted by start time.
+func Generate(cfg GenConfig) ([]Record, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	var recs []Record
+
+	// Application process: alternating CPU and network bursts.
+	{
+		r := master.Derive(1)
+		t := 0.0
+		for t < cfg.DurationUS {
+			c := cfg.AppCPU.Sample(r)
+			recs = append(recs, Record{StartUS: t, PID: 100, Process: ProcApplication, Resource: CPU, DurationUS: c})
+			t += c
+			if t >= cfg.DurationUS {
+				break
+			}
+			n := cfg.AppNet.Sample(r)
+			recs = append(recs, Record{StartUS: t, PID: 100, Process: ProcApplication, Resource: Network, DurationUS: n})
+			t += n
+		}
+	}
+
+	// Paradyn daemon: one collect-and-forward burst per sampling period.
+	{
+		r := master.Derive(2)
+		for t := cfg.SamplingPeriodUS; t < cfg.DurationUS; t += cfg.SamplingPeriodUS {
+			c := cfg.PdCPU.Sample(r)
+			recs = append(recs, Record{StartUS: t, PID: 200, Process: ProcPd, Resource: CPU, DurationUS: c})
+			recs = append(recs, Record{StartUS: t + c, PID: 200, Process: ProcPd, Resource: Network, DurationUS: cfg.PdNet.Sample(r)})
+		}
+	}
+
+	// PVM daemon: chained CPU+network activity at exponential arrivals.
+	{
+		r := master.Derive(3)
+		t := cfg.PvmInterarrival.Sample(r)
+		for t < cfg.DurationUS {
+			c := cfg.PvmCPU.Sample(r)
+			recs = append(recs, Record{StartUS: t, PID: 300, Process: ProcPvmd, Resource: CPU, DurationUS: c})
+			recs = append(recs, Record{StartUS: t + c, PID: 300, Process: ProcPvmd, Resource: Network, DurationUS: cfg.PvmNet.Sample(r)})
+			t += cfg.PvmInterarrival.Sample(r)
+		}
+	}
+
+	// Other user/system processes: independent CPU and network streams.
+	{
+		r := master.Derive(4)
+		t := cfg.OtherCPUGap.Sample(r)
+		for t < cfg.DurationUS {
+			recs = append(recs, Record{StartUS: t, PID: 400, Process: ProcOther, Resource: CPU, DurationUS: cfg.OtherCPU.Sample(r)})
+			t += cfg.OtherCPUGap.Sample(r)
+		}
+		t = cfg.OtherNetGap.Sample(r)
+		for t < cfg.DurationUS {
+			recs = append(recs, Record{StartUS: t, PID: 401, Process: ProcOther, Resource: Network, DurationUS: cfg.OtherNet.Sample(r)})
+			t += cfg.OtherNetGap.Sample(r)
+		}
+	}
+
+	// Main Paradyn process on the host node (second AIX trace file of the
+	// Figure 29 setup).
+	if cfg.IncludeMainTrace {
+		r := master.Derive(5)
+		t := cfg.ParadynArrival.Sample(r)
+		for t < cfg.DurationUS {
+			recs = append(recs, Record{StartUS: t, PID: 500, Process: ProcParadyn, Resource: CPU, DurationUS: cfg.ParadynCPU.Sample(r)})
+			// Occasional network activity replying to daemons.
+			if r.Bernoulli(0.3) {
+				recs = append(recs, Record{StartUS: t, PID: 500, Process: ProcParadyn, Resource: Network, DurationUS: r.Exp(214)})
+			}
+			t += cfg.ParadynArrival.Sample(r)
+		}
+	}
+
+	SortByTime(recs)
+	return recs, nil
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/rng"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{StartUS: 0, PID: 100, Process: ProcApplication, Resource: CPU, DurationUS: 2213.5},
+		{StartUS: 2213.5, PID: 100, Process: ProcApplication, Resource: Network, DurationUS: 223},
+		{StartUS: 2436.5, PID: 200, Process: ProcPd, Resource: CPU, DurationUS: 267},
+		{StartUS: 2703.5, PID: 200, Process: ProcPd, Resource: Network, DurationUS: 71},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n100.0 1 application cpu 50.0\n# trailing comment\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].DurationUS != 50 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestTextParseErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",                  // wrong field count
+		"x 1 application cpu 5\n",  // bad start
+		"1 y application cpu 5\n",  // bad pid
+		"1 1 application disk 5\n", // bad resource
+		"1 1 application cpu z\n",  // bad duration
+		"1 1 application cpu -5\n", // invalid record
+		"-1 1 application cpu 5\n", // negative start
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error for %q should cite line 1: %v", c, err)
+		}
+	}
+}
+
+func TestWriteTextRejectsBadRecords(t *testing.T) {
+	if err := WriteText(&bytes.Buffer{}, []Record{{DurationUS: -1, Process: "x"}}); err == nil {
+		t.Fatal("invalid record should fail")
+	}
+	if err := WriteText(&bytes.Buffer{}, []Record{{StartUS: 0, DurationUS: 1, Process: "two words"}}); err == nil {
+		t.Fatal("whitespace in label should fail")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-8])); err == nil {
+		t.Fatal("truncated trace should fail")
+	}
+}
+
+// Property: both codecs round-trip arbitrary well-formed records.
+func TestQuickCodecsRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		labels := []string{ProcApplication, ProcPd, ProcPvmd, ProcOther, ProcParadyn}
+		recs := make([]Record, int(n)%50+1)
+		for i := range recs {
+			recs[i] = Record{
+				StartUS:    r.Float64() * 1e6,
+				PID:        r.Intn(1000),
+				Process:    labels[r.Intn(len(labels))],
+				Resource:   Resource(r.Intn(2)),
+				DurationUS: r.Float64()*1e4 + 0.001,
+			}
+		}
+		var tb, bb bytes.Buffer
+		if WriteBinary(&bb, recs) != nil {
+			return false
+		}
+		gotB, err := ReadBinary(&bb)
+		if err != nil || len(gotB) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if gotB[i] != recs[i] {
+				return false
+			}
+		}
+		// Text rounds to 3 decimals; compare with tolerance.
+		if WriteText(&tb, recs) != nil {
+			return false
+		}
+		gotT, err := ReadText(&tb)
+		if err != nil || len(gotT) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if math.Abs(gotT[i].StartUS-recs[i].StartUS) > 0.001 ||
+				math.Abs(gotT[i].DurationUS-recs[i].DurationUS) > 0.001 ||
+				gotT[i].PID != recs[i].PID || gotT[i].Process != recs[i].Process {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateProducesAllClasses(t *testing.T) {
+	recs, err := Generate(GenConfig{Seed: 1, DurationUS: 10e6, IncludeMainTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]map[Resource]int{}
+	for _, r := range recs {
+		if r.Validate() != nil {
+			t.Fatalf("invalid generated record: %+v", r)
+		}
+		if seen[r.Process] == nil {
+			seen[r.Process] = map[Resource]int{}
+		}
+		seen[r.Process][r.Resource]++
+	}
+	for _, class := range []string{ProcApplication, ProcPd, ProcPvmd, ProcOther, ProcParadyn} {
+		if seen[class][CPU] == 0 {
+			t.Errorf("no CPU records for %s", class)
+		}
+	}
+	// Sorted by time.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartUS < recs[i-1].StartUS {
+			t.Fatal("records not sorted")
+		}
+	}
+	// Pd records paced by the sampling period: ~250 collect bursts in 10 s
+	// at 40 ms.
+	if n := seen[ProcPd][CPU]; n < 245 || n > 250 {
+		t.Fatalf("pd CPU bursts %d, want ~249", n)
+	}
+}
+
+func TestGenerateMatchesTable1Means(t *testing.T) {
+	recs, err := Generate(GenConfig{Seed: 7, DurationUS: 200e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appCPU []float64
+	for _, r := range recs {
+		if r.Process == ProcApplication && r.Resource == CPU {
+			appCPU = append(appCPU, r.DurationUS)
+		}
+	}
+	if len(appCPU) < 1000 {
+		t.Fatalf("only %d app CPU records", len(appCPU))
+	}
+	mean := 0.0
+	for _, v := range appCPU {
+		mean += v
+	}
+	mean /= float64(len(appCPU))
+	if math.Abs(mean-2213)/2213 > 0.1 {
+		t.Fatalf("app CPU mean %v, want ~2213 (Table 1)", mean)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Seed: 1}); err == nil {
+		t.Fatal("zero duration should fail")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, _ := Generate(GenConfig{Seed: 3, DurationUS: 1e6})
+	b, _ := Generate(GenConfig{Seed: 3, DurationUS: 1e6})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("records differ")
+		}
+	}
+}
+
+func TestResourceStrings(t *testing.T) {
+	if CPU.String() != "cpu" || Network.String() != "net" {
+		t.Fatal("strings")
+	}
+	if Resource(5).String() == "" {
+		t.Fatal("unknown resource")
+	}
+	if _, err := ParseResource("bogus"); err == nil {
+		t.Fatal("parse should fail")
+	}
+}

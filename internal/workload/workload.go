@@ -1,0 +1,253 @@
+// Package workload implements the measurement-based workload
+// characterization of §2.3: it consumes AIX-like occupancy traces
+// (internal/trace), produces the per-process summary statistics of
+// Table 1, fits candidate probability distributions by maximum likelihood
+// and ranks them as in Figure 8, estimates request inter-arrival times,
+// and emits the ROCC model parameterization of Table 2 as a
+// core.Workload.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rocc/internal/core"
+	"rocc/internal/rng"
+	"rocc/internal/stats"
+	"rocc/internal/trace"
+)
+
+// ClassResource keys statistics by process class and resource.
+type ClassResource struct {
+	Class    string
+	Resource trace.Resource
+}
+
+// Characterization is the full output of the pipeline.
+type Characterization struct {
+	// Samples holds raw request lengths per class/resource.
+	Samples map[ClassResource][]float64
+	// Stats is Table 1: summary statistics per class/resource.
+	Stats map[ClassResource]stats.Summary
+	// Fits holds the best fitted distribution per class/resource plus all
+	// candidates considered.
+	Fits map[ClassResource]FitChoice
+	// Interarrival is the fitted exponential mean of request inter-arrival
+	// times per class/resource (microseconds).
+	Interarrival map[ClassResource]float64
+}
+
+// FitChoice records the chosen distribution and the candidates it beat.
+type FitChoice struct {
+	Best       stats.FitResult
+	Candidates []stats.FitResult
+}
+
+// Characterize runs the pipeline over a trace.
+func Characterize(recs []trace.Record) (*Characterization, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("workload: empty trace")
+	}
+	c := &Characterization{
+		Samples:      map[ClassResource][]float64{},
+		Stats:        map[ClassResource]stats.Summary{},
+		Fits:         map[ClassResource]FitChoice{},
+		Interarrival: map[ClassResource]float64{},
+	}
+	starts := map[ClassResource][]float64{}
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		key := ClassResource{Class: r.Process, Resource: r.Resource}
+		c.Samples[key] = append(c.Samples[key], r.DurationUS)
+		starts[key] = append(starts[key], r.StartUS)
+	}
+	for key, xs := range c.Samples {
+		c.Stats[key] = stats.Summarize(xs)
+		best, all, err := stats.FitBest(xs)
+		if err != nil {
+			return nil, fmt.Errorf("workload: fitting %s/%s: %w", key.Class, key.Resource, err)
+		}
+		c.Fits[key] = FitChoice{Best: best, Candidates: all}
+		// Inter-arrival: mean gap between request start times (the paper
+		// approximates all inter-arrival processes as exponential, §2.3.2).
+		ts := starts[key]
+		sort.Float64s(ts)
+		if len(ts) > 1 {
+			var gaps []float64
+			for i := 1; i < len(ts); i++ {
+				if g := ts[i] - ts[i-1]; g > 0 {
+					gaps = append(gaps, g)
+				}
+			}
+			if len(gaps) > 0 {
+				c.Interarrival[key] = stats.MeanOf(gaps)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Classes returns the process classes present, in Table 1 row order where
+// known, then alphabetically.
+func (c *Characterization) Classes() []string {
+	seen := map[string]bool{}
+	for key := range c.Stats {
+		seen[key.Class] = true
+	}
+	var out []string
+	for _, cls := range trace.Classes {
+		if seen[cls] {
+			out = append(out, cls)
+			delete(seen, cls)
+		}
+	}
+	var rest []string
+	for cls := range seen {
+		rest = append(rest, cls)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// dist converts a fitted distribution into a sampleable rng.Dist of the
+// Table 2 notation.
+func dist(f stats.Fitted) rng.Dist {
+	switch d := f.(type) {
+	case stats.ExpFit:
+		return rng.Exponential{MeanVal: d.MeanVal}
+	case stats.LognormalFit:
+		return rng.Lognormal{MeanVal: d.Mean(), SD: d.SD()}
+	case stats.WeibullFit:
+		return rng.Weibull{Shape: d.Shape, Scale: d.Scale}
+	case stats.GammaFit:
+		return rng.GammaDist{Shape: d.Shape, Scale: d.Scale}
+	}
+	return rng.Constant{Value: f.Mean()}
+}
+
+// bestDist returns the fitted distribution for a class/resource, or a
+// fallback when the class is absent from the trace.
+func (c *Characterization) bestDist(class string, res trace.Resource, fallback rng.Dist) rng.Dist {
+	if f, ok := c.Fits[ClassResource{Class: class, Resource: res}]; ok {
+		return dist(f.Best.Dist)
+	}
+	return fallback
+}
+
+// Workload assembles a core.Workload (the Table 2 parameterization) from
+// the characterization, falling back to published Table 2 values for any
+// class missing from the trace.
+func (c *Characterization) Workload() core.Workload {
+	def := core.DefaultWorkload()
+	w := core.Workload{
+		AppCPU:   c.bestDist(trace.ProcApplication, trace.CPU, def.AppCPU),
+		AppNet:   c.bestDist(trace.ProcApplication, trace.Network, def.AppNet),
+		PvmCPU:   c.bestDist(trace.ProcPvmd, trace.CPU, def.PvmCPU),
+		PvmNet:   c.bestDist(trace.ProcPvmd, trace.Network, def.PvmNet),
+		OtherCPU: c.bestDist(trace.ProcOther, trace.CPU, def.OtherCPU),
+		OtherNet: c.bestDist(trace.ProcOther, trace.Network, def.OtherNet),
+		MainCPU:  c.bestDist(trace.ProcParadyn, trace.CPU, def.MainCPU),
+	}
+	w.PvmInterarrival = c.interarrivalDist(trace.ProcPvmd, trace.CPU, def.PvmInterarrival)
+	w.OtherCPUInterarrival = c.interarrivalDist(trace.ProcOther, trace.CPU, def.OtherCPUInterarrival)
+	w.OtherNetInterarrival = c.interarrivalDist(trace.ProcOther, trace.Network, def.OtherNetInterarrival)
+	return w
+}
+
+// ClusteredWorkload assembles a core.Workload in the style of Hughes's
+// cluster-based drive-workload generation (reference [13] of the paper):
+// each request-length distribution becomes a k-cluster mixture of
+// constants at the cluster centers, weighted by cluster populations. It
+// preserves multimodality that a single fitted family can miss.
+func (c *Characterization) ClusteredWorkload(k int) (core.Workload, error) {
+	if k < 1 {
+		return core.Workload{}, errors.New("workload: need k >= 1 clusters")
+	}
+	w := c.Workload() // inter-arrivals and fallbacks from the fitted path
+	clustered := func(class string, res trace.Resource, fallback rng.Dist) (rng.Dist, error) {
+		xs := c.Samples[ClassResource{Class: class, Resource: res}]
+		if len(xs) == 0 {
+			return fallback, nil
+		}
+		clusters, err := stats.KMeans1D(xs, k)
+		if err != nil {
+			return nil, err
+		}
+		m := rng.Mixture{}
+		for _, cl := range clusters {
+			m.Components = append(m.Components, rng.Constant{Value: cl.Center})
+			m.Weights = append(m.Weights, float64(cl.Count))
+		}
+		return m, nil
+	}
+	fields := []struct {
+		dst   *rng.Dist
+		class string
+		res   trace.Resource
+	}{
+		{&w.AppCPU, trace.ProcApplication, trace.CPU},
+		{&w.AppNet, trace.ProcApplication, trace.Network},
+		{&w.PvmCPU, trace.ProcPvmd, trace.CPU},
+		{&w.PvmNet, trace.ProcPvmd, trace.Network},
+		{&w.OtherCPU, trace.ProcOther, trace.CPU},
+		{&w.OtherNet, trace.ProcOther, trace.Network},
+		{&w.MainCPU, trace.ProcParadyn, trace.CPU},
+	}
+	for _, f := range fields {
+		d, err := clustered(f.class, f.res, *f.dst)
+		if err != nil {
+			return core.Workload{}, err
+		}
+		*f.dst = d
+	}
+	return w, nil
+}
+
+// EmpiricalWorkload assembles a trace-driven core.Workload: request
+// lengths are resampled directly from the observed trace rather than from
+// fitted distributions. Comparing simulations under the fitted and
+// empirical workloads quantifies how much the distribution-fitting step
+// of §2.3.2 matters.
+func (c *Characterization) EmpiricalWorkload() core.Workload {
+	w := c.Workload() // start from fitted (covers inter-arrivals/fallbacks)
+	emp := func(class string, res trace.Resource, fallback rng.Dist) rng.Dist {
+		if xs := c.Samples[ClassResource{Class: class, Resource: res}]; len(xs) > 0 {
+			return rng.Empirical{Values: xs}
+		}
+		return fallback
+	}
+	w.AppCPU = emp(trace.ProcApplication, trace.CPU, w.AppCPU)
+	w.AppNet = emp(trace.ProcApplication, trace.Network, w.AppNet)
+	w.PvmCPU = emp(trace.ProcPvmd, trace.CPU, w.PvmCPU)
+	w.PvmNet = emp(trace.ProcPvmd, trace.Network, w.PvmNet)
+	w.OtherCPU = emp(trace.ProcOther, trace.CPU, w.OtherCPU)
+	w.OtherNet = emp(trace.ProcOther, trace.Network, w.OtherNet)
+	w.MainCPU = emp(trace.ProcParadyn, trace.CPU, w.MainCPU)
+	return w
+}
+
+func (c *Characterization) interarrivalDist(class string, res trace.Resource, fallback rng.Dist) rng.Dist {
+	if m, ok := c.Interarrival[ClassResource{Class: class, Resource: res}]; ok && m > 0 {
+		return rng.Exponential{MeanVal: m}
+	}
+	return fallback
+}
+
+// SamplingPeriod estimates the instrumentation sampling period from the
+// Paradyn daemon's CPU request inter-arrival times; zero if absent.
+func (c *Characterization) SamplingPeriod() float64 {
+	return c.Interarrival[ClassResource{Class: trace.ProcPd, Resource: trace.CPU}]
+}
+
+// CPUSeconds totals the CPU occupancy of a process class in seconds — the
+// quantity compared in Table 3 (measured vs simulated CPU time).
+func (c *Characterization) CPUSeconds(class string) float64 {
+	s, ok := c.Stats[ClassResource{Class: class, Resource: trace.CPU}]
+	if !ok {
+		return 0
+	}
+	return s.Sum / 1e6
+}
