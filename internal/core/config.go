@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 
+	"rocc/internal/faults"
 	"rocc/internal/forward"
+	"rocc/internal/resources"
 	"rocc/internal/rng"
 )
 
@@ -156,6 +158,18 @@ type Config struct {
 
 	// PipeCapacity is the per-pipe sample buffer size (default 256).
 	PipeCapacity int
+
+	// Overflow selects what a full pipe does with an incoming sample:
+	// Block (the real write(2) behavior and the default), DropNewest, or
+	// DropOldest. Drops are accounted in Result.PipeDropped.
+	Overflow resources.OverflowPolicy
+
+	// Faults, when non-nil and active, overlays a deterministic fault
+	// schedule (message loss/duplication/delay, transient daemon crashes,
+	// pipe capacity squeezes) and the configured resilience policies on
+	// the model. A nil or inactive plan leaves the model completely
+	// unwired and reproduces the fault-free baseline bit-identically.
+	Faults *faults.Plan
 
 	// Quantum is the CPU scheduling quantum in microseconds (Table 2:
 	// 10,000).
@@ -304,6 +318,16 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.PipeCapacity <= 0 {
 		c.PipeCapacity = 256
+	}
+	if c.Overflow < resources.Block || c.Overflow > resources.DropOldest {
+		return c, errors.New("core: unknown pipe overflow policy")
+	}
+	if c.Faults.Active() {
+		plan, err := c.Faults.Validate()
+		if err != nil {
+			return c, err
+		}
+		c.Faults = &plan
 	}
 	if c.Quantum <= 0 {
 		c.Quantum = 10000

@@ -2,6 +2,7 @@ package core
 
 import (
 	"rocc/internal/des"
+	"rocc/internal/faults"
 	"rocc/internal/forward"
 	"rocc/internal/procs"
 	"rocc/internal/resources"
@@ -29,10 +30,14 @@ type Model struct {
 	Sources []*procs.OpenSource
 	Barrier *procs.Barrier
 
-	topo      forward.Topology
-	nodeProcs []int       // current application-process count per node
-	master    *rng.Stream // for mid-run spawns
-	spawnSeq  int
+	// Inj is the fault injector, non-nil only when Cfg.Faults is active.
+	Inj *faults.Injector
+
+	topo        forward.Topology
+	nodeDaemons [][]*procs.PdDaemon // daemons indexed by node (NOW/MPP)
+	nodeProcs   []int               // current application-process count per node
+	master      *rng.Stream         // for mid-run spawns
+	spawnSeq    int
 
 	// PhaseFlips counts workload phase transitions (PhasePeriod option).
 	PhaseFlips int
@@ -79,7 +84,60 @@ func New(cfg Config) (*Model, error) {
 	if cfg.MainThreads.enabled() {
 		m.addMainThreads(master)
 	}
+	if err := m.wireFaults(); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// initPipe applies the model-wide pipe settings: the simulation clock for
+// blocked-writer wait accounting and the configured overflow policy.
+func (m *Model) initPipe(p *resources.Pipe) *resources.Pipe {
+	p.SetClock(m.Sim.Now)
+	p.SetPolicy(m.Cfg.Overflow)
+	return p
+}
+
+// wireFaults overlays the fault plan on the assembled model: every
+// daemon's uplink is routed through a fault-injecting (and, if enabled,
+// retransmitting) Link, the crash and pipe-squeeze schedules are armed,
+// and degradation controllers are attached. A nil or inactive plan is a
+// no-op — the model stays byte-identical to the fault-free baseline.
+// Pipes created later by process forking are not covered by the squeeze
+// schedule (it is fixed at build time).
+func (m *Model) wireFaults() error {
+	if !m.Cfg.Faults.Active() {
+		return nil
+	}
+	inj, err := faults.NewInjector(m.Sim, *m.Cfg.Faults)
+	if err != nil {
+		return err
+	}
+	m.Inj = inj
+	perNode := make(map[int]int)
+	for _, d := range m.Daemons {
+		node := d.Node
+		idx := perNode[node]
+		perNode[node]++
+		dst := func(msg *forward.Message) bool {
+			parent, toMain := m.topo.Next(node)
+			if toMain {
+				m.Main.Receive(msg)
+				return true
+			}
+			return m.nodeDaemons[parent][0].Accept(msg)
+		}
+		link := inj.NewLink(node, idx, m.Net, m.Cfg.Cost, dst)
+		d.Deliver = link.Send
+		inj.AttachDegrader(d, link)
+	}
+	inj.ScheduleCrashes(m.Daemons)
+	var pipes []*resources.Pipe
+	for _, d := range m.Daemons {
+		pipes = append(pipes, d.Pipes...)
+	}
+	inj.SchedulePipeSqueezes(pipes)
+	return nil
 }
 
 // addMainThreads attaches the Performance Consultant and UI Manager
@@ -135,7 +193,7 @@ func (m *Model) buildPerNode(master *rng.Stream) {
 
 	// Daemons first so pipes can be attached as apps are created.
 	m.Daemons = make([]*procs.PdDaemon, 0, cfg.Nodes*cfg.Pds)
-	nodeDaemons := make([][]*procs.PdDaemon, cfg.Nodes)
+	m.nodeDaemons = make([][]*procs.PdDaemon, cfg.Nodes)
 	for node := 0; node < cfg.Nodes; node++ {
 		for k := 0; k < cfg.Pds; k++ {
 			d := &procs.PdDaemon{
@@ -147,17 +205,17 @@ func (m *Model) buildPerNode(master *rng.Stream) {
 				Node:         node,
 				FlushTimeout: cfg.FlushTimeout,
 			}
-			m.wireDelivery(d, nodeDaemons)
+			m.wireDelivery(d)
 			m.Daemons = append(m.Daemons, d)
-			nodeDaemons[node] = append(nodeDaemons[node], d)
+			m.nodeDaemons[node] = append(m.nodeDaemons[node], d)
 		}
 	}
 
 	for node := 0; node < cfg.Nodes; node++ {
 		for j := 0; j < cfg.AppProcs; j++ {
-			pipe := resources.NewPipe(cfg.PipeCapacity)
+			pipe := m.initPipe(resources.NewPipe(cfg.PipeCapacity))
 			// Round-robin pipes over the node's daemons.
-			d := nodeDaemons[node][j%len(nodeDaemons[node])]
+			d := m.nodeDaemons[node][j%len(m.nodeDaemons[node])]
 			d.Pipes = append(d.Pipes, pipe)
 			app := &procs.AppProcess{
 				Sim: m.Sim, CPU: m.NodeCPUs[node], Net: m.Net, Pipe: pipe,
@@ -182,7 +240,7 @@ func (m *Model) buildPerNode(master *rng.Stream) {
 // wireDelivery routes a daemon's transmitted messages either to the main
 // process or to the parent node's (first) daemon per the topology. Wiring
 // is deferred via closure so it works while daemons are still being built.
-func (m *Model) wireDelivery(d *procs.PdDaemon, nodeDaemons [][]*procs.PdDaemon) {
+func (m *Model) wireDelivery(d *procs.PdDaemon) {
 	node := d.Node
 	d.Deliver = func(msg *forward.Message) {
 		parent, toMain := m.topo.Next(node)
@@ -190,7 +248,7 @@ func (m *Model) wireDelivery(d *procs.PdDaemon, nodeDaemons [][]*procs.PdDaemon)
 			m.Main.Receive(msg)
 			return
 		}
-		nodeDaemons[parent][0].Receive(msg)
+		m.nodeDaemons[parent][0].Receive(msg)
 	}
 }
 
@@ -229,7 +287,7 @@ func (m *Model) buildSMP(master *rng.Stream) {
 	}
 
 	for j := 0; j < cfg.AppProcs; j++ {
-		pipe := resources.NewPipe(cfg.PipeCapacity)
+		pipe := m.initPipe(resources.NewPipe(cfg.PipeCapacity))
 		m.Daemons[j%cfg.Pds].Pipes = append(m.Daemons[j%cfg.Pds].Pipes, pipe)
 		app := &procs.AppProcess{
 			Sim: m.Sim, CPU: cpu, Net: m.Net, Pipe: pipe,
@@ -273,7 +331,7 @@ func (m *Model) spawnChild(parent *procs.AppProcess, d *procs.PdDaemon) {
 	}
 	m.nodeProcs[node]++
 	m.spawnSeq++
-	pipe := resources.NewPipe(m.Cfg.PipeCapacity)
+	pipe := m.initPipe(resources.NewPipe(m.Cfg.PipeCapacity))
 	d.Pipes = append(d.Pipes, pipe)
 	pipe.SetOnData(d.Wake)
 	child := &procs.AppProcess{
@@ -390,11 +448,17 @@ func (m *Model) resetAccounting() {
 	m.Main.ResetAccounting()
 	for _, d := range m.Daemons {
 		d.ResetAccounting()
+		for _, p := range d.Pipes {
+			p.ResetAccounting()
+		}
 	}
 	for _, a := range m.Apps {
 		a.ResetAccounting()
 	}
 	if m.Barrier != nil {
 		m.Barrier.Releases = 0
+	}
+	if m.Inj != nil {
+		m.Inj.ResetAccounting()
 	}
 }

@@ -39,6 +39,35 @@ type Result struct {
 	ThroughputPerSec        float64 // samples received at main per second
 	PdThroughputPerSec      float64 // samples forwarded by daemons per second
 
+	// Pipe overflow and blocked-writer accounting.
+	PipeDropped        int     // samples discarded at full pipes (all causes)
+	PipeDroppedNewest  int     // discarded on arrival (DropNewest, TryPut)
+	PipeDroppedOldest  int     // evicted to admit newer data (DropOldest)
+	PipeBlockedWaitSec float64 // cumulative time writers spent blocked
+
+	// Fault injection and resilience (populated when Cfg.Faults is
+	// active; zero otherwise).
+	FaultLossInjected     int     // uplink deliveries destroyed in transit
+	FaultDupInjected      int     // duplicate deliveries injected
+	FaultDelayInjected    int     // deliveries given an extra transit delay
+	FaultAcksLost         int     // acknowledgements destroyed
+	MsgLossRatePct        float64 // injected losses per delivery attempt
+	MsgDupRatePct         float64 // injected duplicates per forwarded message
+	Retransmits           int     // retransmission attempts
+	RetransmitGiveUps     int     // messages abandoned after the retry budget
+	SamplesLostForwarding int     // samples lost for good on uplinks
+	DupMessagesDiscarded  int     // duplicates suppressed at receivers
+	RecoveredMessages     int     // messages that needed a retransmission
+	RecoveryMeanSec       float64 // mean first-send-to-ack time of recovered
+	RecoveryMaxSec        float64
+	Crashes               int     // daemon crash events
+	CrashDowntimeSec      float64 // total daemon downtime
+	CrashLostSamples      int     // samples lost to crashed daemon state
+	PipeSqueezes          int     // pipe capacity-squeeze windows opened
+	SamplesThinned        int     // samples dropped by degradation thinning
+	DegradedResidencySec  float64 // time daemons spent in degraded mode
+	DegradeEngagements    int     // entries into degraded mode
+
 	SamplesGenerated int
 	SamplesReceived  int
 	// WarmupCarryover counts samples generated during the warmup period
@@ -109,8 +138,42 @@ func (m *Model) collect() Result {
 		pdSamples += d.SamplesCollected // distinct samples, excluding relays
 		res.MessagesForwarded += d.MessagesForwarded
 		res.MessagesMerged += d.MessagesMerged
+		res.SamplesThinned += d.SamplesThinned
+		res.CrashLostSamples += d.CrashLostSamples
+		for _, p := range d.Pipes {
+			res.PipeDropped += p.Dropped()
+			res.PipeDroppedNewest += p.DroppedNewest()
+			res.PipeDroppedOldest += p.DroppedOldest()
+			res.PipeBlockedWaitSec += p.BlockedWaitTotal() / 1e6
+		}
 	}
 	res.PdThroughputPerSec = float64(pdSamples) / durSec
+
+	if m.Inj != nil {
+		t := m.Inj.Totals()
+		res.FaultLossInjected = t.LossInjected
+		res.FaultDupInjected = t.DupInjected
+		res.FaultDelayInjected = t.DelayInjected
+		res.FaultAcksLost = t.AcksLost
+		res.Retransmits = t.Retransmits
+		res.RetransmitGiveUps = t.GiveUps
+		res.SamplesLostForwarding = t.SamplesLostForwarding
+		res.DupMessagesDiscarded = t.DupMessagesDiscarded
+		res.RecoveredMessages = t.Recovered
+		res.RecoveryMeanSec = t.RecoveryMeanUS / 1e6
+		res.RecoveryMaxSec = t.RecoveryMaxUS / 1e6
+		res.Crashes = t.Crashes
+		res.CrashDowntimeSec = t.DowntimeUS / 1e6
+		res.PipeSqueezes = t.Squeezes
+		res.DegradedResidencySec = t.DegradedResidencyUS / 1e6
+		res.DegradeEngagements = t.DegradeEngagements
+		if attempts := res.MessagesForwarded + t.Retransmits; attempts > 0 {
+			res.MsgLossRatePct = float64(t.LossInjected) / float64(attempts) * 100
+		}
+		if res.MessagesForwarded > 0 {
+			res.MsgDupRatePct = float64(t.DupInjected) / float64(res.MessagesForwarded) * 100
+		}
+	}
 
 	res.SamplesReceived = m.Main.SamplesReceived
 	res.WarmupCarryover = m.warmupCarryover

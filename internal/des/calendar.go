@@ -151,5 +151,6 @@ func (l *ListCalendar) Pop() *Event {
 		l.tail = nil
 	}
 	l.n--
+	node.e.index = -1
 	return node.e
 }

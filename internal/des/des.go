@@ -21,6 +21,7 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
+	fired    bool
 	index    int // heap index; -1 when not queued
 }
 
@@ -28,11 +29,21 @@ type Event struct {
 func (e *Event) Time() Time { return e.time }
 
 // Cancel prevents a pending event from firing. Canceling an event that has
-// already fired or was already canceled is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already fired is a no-op that leaves the event marked fired, not
+// canceled, so Canceled/Fired stay an accurate record of what happened;
+// canceling twice is likewise a no-op.
+func (e *Event) Cancel() {
+	if e.fired {
+		return
+	}
+	e.canceled = true
+}
 
-// Canceled reports whether the event was canceled.
+// Canceled reports whether the event was canceled before firing.
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
 
 // Calendar is a future event list. Two implementations are provided: a
 // binary heap (the default) and a sorted doubly-linked list (kept for the
@@ -102,12 +113,24 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.time
 		if e.canceled {
+			e.fn = nil
 			continue
 		}
 		s.Dispatched++
-		e.fn()
+		s.fire(e)
 		return true
 	}
+}
+
+// fire runs an event's callback exactly once, marking it fired and
+// releasing the closure so a retained *Event cannot pin captured state or
+// carry a stale heap index.
+func (s *Simulator) fire(e *Event) {
+	e.fired = true
+	e.index = -1
+	fn := e.fn
+	e.fn = nil
+	fn()
 }
 
 // Run dispatches events until the calendar is empty or the next event is
@@ -129,10 +152,11 @@ func (s *Simulator) Run(until Time) {
 		}
 		s.now = e.time
 		if e.canceled {
+			e.fn = nil
 			continue
 		}
 		s.Dispatched++
-		e.fn()
+		s.fire(e)
 	}
 	s.now = until
 }

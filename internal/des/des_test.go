@@ -254,3 +254,61 @@ func BenchmarkHeapCalendar(b *testing.B) {
 func BenchmarkListCalendar(b *testing.B) {
 	benchCalendar(b, func() Calendar { return NewListCalendar() })
 }
+
+// Regression (cancellation hygiene): canceling an event that has already
+// fired must be a no-op that leaves the event marked fired (not canceled)
+// and must not leave a stale heap index behind; canceling twice must be
+// idempotent. Exercised on both Calendar implementations.
+func TestCancelAfterFireAndCancelTwice(t *testing.T) {
+	for _, mk := range []func() Calendar{
+		func() Calendar { return NewHeapCalendar() },
+		func() Calendar { return NewListCalendar() },
+	} {
+		cal := mk()
+		s := NewWithCalendar(cal)
+		fired := 0
+		e := s.Schedule(10, func() { fired++ })
+		s.RunAll()
+		if fired != 1 || !e.Fired() {
+			t.Fatalf("%T: event did not fire exactly once", cal)
+		}
+		e.Cancel() // cancel-after-fire: no-op
+		if e.Canceled() {
+			t.Fatalf("%T: cancel-after-fire marked the event canceled", cal)
+		}
+		if e.index != -1 {
+			t.Fatalf("%T: fired event kept stale heap index %d", cal, e.index)
+		}
+
+		e2 := s.Schedule(5, func() { fired += 10 })
+		e2.Cancel()
+		e2.Cancel() // cancel-twice: idempotent
+		if !e2.Canceled() {
+			t.Fatalf("%T: cancel-twice lost the canceled state", cal)
+		}
+		s.RunAll()
+		if fired != 1 || e2.Fired() {
+			t.Fatalf("%T: canceled event fired (count %d)", cal, fired)
+		}
+		if e2.index != -1 {
+			t.Fatalf("%T: discarded canceled event kept heap index %d", cal, e2.index)
+		}
+	}
+}
+
+// A fired event releases its callback closure so retained *Event handles
+// (e.g. a daemon's flush timer) cannot pin captured state.
+func TestFiredEventReleasesClosure(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, func() {})
+	s.RunAll()
+	if e.fn != nil {
+		t.Fatal("fired event retained its closure")
+	}
+	c := s.Schedule(1, func() {})
+	c.Cancel()
+	s.RunAll()
+	if c.fn != nil {
+		t.Fatal("discarded canceled event retained its closure")
+	}
+}

@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-adaptive", "ext-consultant", "ext-cluster", "ext-tracing", "ext-phases",
 		"ablation-pipecap", "ablation-quantum", "ablation-eventqueue",
 		"ablation-netcontention", "ablation-fitting", "ablation-detailed",
+		"fault-survivability",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -128,7 +129,8 @@ func TestRemainingSimulationExperimentsRun(t *testing.T) {
 	opt := tinyOptions()
 	opt.DurationUS = 5e4 // 50 simulated ms: exercises the code paths only
 	for _, id := range []string{"fig22", "fig23", "fig24", "fig26", "fig27", "fig28",
-		"ext-adaptive", "ext-consultant", "ext-phases", "ablation-fitting", "ablation-detailed"} {
+		"ext-adaptive", "ext-consultant", "ext-phases", "ablation-fitting", "ablation-detailed",
+		"fault-survivability"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("%s missing", id)
@@ -140,6 +142,31 @@ func TestRemainingSimulationExperimentsRun(t *testing.T) {
 		if buf.Len() == 0 {
 			t.Fatalf("%s produced no output", id)
 		}
+	}
+}
+
+// TestFaultSweepByteIdentical is the reproducibility contract for the
+// survivability table: same options and seed, byte-identical output.
+func TestFaultSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.DurationUS = 1e5
+	sw := DefaultFaultSweep()
+	sw.LossLevels = []float64{0.05}
+	var a, b bytes.Buffer
+	if err := FaultSweep(&a, opt, sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := FaultSweep(&b, opt, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("fault sweep not reproducible:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "delivered % (resilient)") {
+		t.Fatalf("sweep table missing survivability columns:\n%s", a.String())
 	}
 }
 

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+	"rocc/internal/faults"
+	"rocc/internal/forward"
+	"rocc/internal/report"
+)
+
+func init() {
+	register("fault-survivability",
+		"Fault injection: IS survivability under message loss across architectures and policies",
+		func(w io.Writer, opt Options) error {
+			return FaultSweep(w, opt, DefaultFaultSweep())
+		})
+}
+
+// FaultSweepOptions parameterizes the survivability sweep shared by the
+// fault-survivability experiment and cmd/roccfault.
+type FaultSweepOptions struct {
+	// LossLevels are the injected per-attempt message-loss probabilities
+	// swept as the fault-intensity axis.
+	LossLevels []float64
+	// DupFraction sets the duplication probability as a fraction of the
+	// loss probability at each level.
+	DupFraction float64
+	// CrashMTBFUS, when positive, also injects transient daemon crashes
+	// with this mean up-time (exponential) at every intensity level.
+	CrashMTBFUS float64
+	// SqueezeMTBFUS, when positive, also injects pipe capacity squeezes.
+	SqueezeMTBFUS float64
+	// SamplingPeriodUS is the instrumentation sampling period.
+	SamplingPeriodUS float64
+	// Nodes is the node count (CPU count for SMP).
+	Nodes int
+	// BatchSize is the BF batch size.
+	BatchSize int
+}
+
+// DefaultFaultSweep returns the default sweep: 1%, 5%, and 10% loss with
+// proportional duplication, on 8 nodes at a 20 ms sampling period.
+func DefaultFaultSweep() FaultSweepOptions {
+	return FaultSweepOptions{
+		LossLevels:       []float64{0.01, 0.05, 0.10},
+		DupFraction:      0.5,
+		SamplingPeriodUS: 20000,
+		Nodes:            8,
+		BatchSize:        16,
+	}
+}
+
+// faultVariant is one architecture × policy × forwarding combination.
+type faultVariant struct {
+	arch   core.Arch
+	policy forward.Policy
+	fwd    forward.Config
+}
+
+func (v faultVariant) label() (string, string, string) {
+	return v.arch.String(), v.policy.String(), v.fwd.String()
+}
+
+// faultVariants enumerates the survivability matrix: CF and BF on each
+// architecture, plus tree forwarding for MPP (the only architecture the
+// model supports it on).
+func faultVariants() []faultVariant {
+	out := []faultVariant{
+		{core.NOW, forward.CF, forward.Direct},
+		{core.NOW, forward.BF, forward.Direct},
+		{core.SMP, forward.CF, forward.Direct},
+		{core.SMP, forward.BF, forward.Direct},
+		{core.MPP, forward.CF, forward.Direct},
+		{core.MPP, forward.CF, forward.Tree},
+		{core.MPP, forward.BF, forward.Direct},
+		{core.MPP, forward.BF, forward.Tree},
+	}
+	return out
+}
+
+// FaultSweep runs the survivability table: for every architecture ×
+// policy × forwarding variant and every fault-intensity level, one run
+// without resilience and one with ack/retransmission plus graceful
+// degradation, reporting the fraction of generated samples that survived
+// to the main Paradyn process. Identical options and seeds reproduce the
+// table byte-identically.
+func FaultSweep(w io.Writer, opt Options, sw FaultSweepOptions) error {
+	opt = opt.normalized()
+	if len(sw.LossLevels) == 0 {
+		sw.LossLevels = DefaultFaultSweep().LossLevels
+	}
+	if sw.Nodes <= 0 {
+		sw.Nodes = 8
+	}
+	if sw.SamplingPeriodUS <= 0 {
+		sw.SamplingPeriodUS = 20000
+	}
+	if sw.BatchSize <= 0 {
+		sw.BatchSize = 16
+	}
+
+	title := "IS survivability under injected faults"
+	if sw.CrashMTBFUS > 0 {
+		title += fmt.Sprintf(" (+ daemon crashes, MTBF %.0f ms)", sw.CrashMTBFUS/1000)
+	}
+	if sw.SqueezeMTBFUS > 0 {
+		title += " (+ pipe squeezes)"
+	}
+	t := report.NewTable(title,
+		"arch", "policy", "fwd", "loss %",
+		"delivered % (bare)", "delivered % (resilient)",
+		"retransmits", "giveups", "recovery (ms)", "crashes", "degraded (s)")
+
+	for _, v := range faultVariants() {
+		for li, loss := range sw.LossLevels {
+			plan := faults.Plan{
+				Seed:        opt.Seed + uint64(li)*7919,
+				Loss:        loss,
+				Dup:         loss * sw.DupFraction,
+				CrashMTBF:   sw.CrashMTBFUS,
+				SqueezeMTBF: sw.SqueezeMTBFUS,
+			}
+
+			bare, err := runFaultVariant(v, sw, opt, plan)
+			if err != nil {
+				return err
+			}
+
+			plan.Resilience = faults.Resilience{Retransmit: true, Degrade: true}
+			res, err := runFaultVariant(v, sw, opt, plan)
+			if err != nil {
+				return err
+			}
+
+			arch, pol, fwd := v.label()
+			t.AddRow(arch, pol, fwd, report.F(loss*100),
+				report.F(delivered(bare)), report.F(delivered(res)),
+				fmt.Sprintf("%d", res.Retransmits),
+				fmt.Sprintf("%d", res.RetransmitGiveUps),
+				report.F(res.RecoveryMeanSec*1000),
+				fmt.Sprintf("%d", res.Crashes),
+				report.F(res.DegradedResidencySec))
+		}
+	}
+	return t.Render(w)
+}
+
+// delivered is the survivability metric: the percentage of generated
+// samples received at the main process.
+func delivered(r core.Result) float64 {
+	if r.SamplesGenerated == 0 {
+		return 0
+	}
+	return float64(r.SamplesReceived) / float64(r.SamplesGenerated) * 100
+}
+
+func runFaultVariant(v faultVariant, sw FaultSweepOptions, opt Options, plan faults.Plan) (core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.Arch = v.arch
+	cfg.Nodes = sw.Nodes
+	cfg.Policy = v.policy
+	cfg.Forwarding = v.fwd
+	if v.policy == forward.BF {
+		cfg.BatchSize = sw.BatchSize
+	}
+	if v.arch == core.SMP {
+		// SMP: AppProcs is the machine total, one process per CPU.
+		cfg.AppProcs = sw.Nodes
+	}
+	cfg.SamplingPeriod = sw.SamplingPeriodUS
+	cfg.Faults = &plan
+	return runOne(cfg, opt)
+}

@@ -1,9 +1,11 @@
 package forward
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"rocc/internal/des"
 	"rocc/internal/rng"
 )
 
@@ -99,6 +101,87 @@ func TestTreeTopologyPartialLevel(t *testing.T) {
 	top := TreeTopology{Nodes: 6}
 	if ch := top.Children(2); len(ch) != 1 || ch[0] != 5 {
 		t.Fatalf("children of 2 in 6-node tree: %v", ch)
+	}
+}
+
+// A single-node tree degenerates to the direct configuration: the only
+// node is the root, forwards straight to main, and has no children.
+func TestTreeTopologySingleNode(t *testing.T) {
+	top := TreeTopology{Nodes: 1}
+	if _, toMain := top.Next(0); !toMain {
+		t.Fatal("single-node tree: node 0 must forward to main")
+	}
+	if ch := top.Children(0); len(ch) != 0 {
+		t.Fatalf("single-node tree: root has children %v", ch)
+	}
+	if d := top.Depth(0); d != 1 {
+		t.Fatalf("single-node tree: depth %d, want 1", d)
+	}
+}
+
+// Children of a leaf must be empty for every leaf, including the last
+// node of a partially filled level and trees of even and odd size.
+func TestTreeTopologyLeafChildren(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 6, 7, 8, 31, 32} {
+		top := TreeTopology{Nodes: nodes}
+		for node := 0; node < nodes; node++ {
+			left := 2*node + 1
+			if left < nodes {
+				continue // interior node
+			}
+			if ch := top.Children(node); len(ch) != 0 {
+				t.Fatalf("nodes=%d: leaf %d has children %v", nodes, node, ch)
+			}
+		}
+		// The last interior node may have one or two children, never more.
+		for node := 0; node < nodes; node++ {
+			if ch := top.Children(node); len(ch) > 2 {
+				t.Fatalf("nodes=%d: node %d has %d children", nodes, node, len(ch))
+			}
+		}
+	}
+}
+
+// Routing is deterministic under equal-time events: when every node
+// emits a message at the same simulated instant, the per-hop arrival
+// order at each parent (and at main) is fixed by FIFO tie-breaking in
+// the event queue, so two identical runs observe identical orders.
+func TestTreeRoutingDeterministicAtEqualTimes(t *testing.T) {
+	route := func() []int {
+		top := TreeTopology{Nodes: 7}
+		sim := des.New()
+		var arrivals []int // node ids in the order their traffic reaches main
+		var hop func(at, from int)
+		hop = func(at, from int) {
+			next, toMain := top.Next(at)
+			if toMain {
+				arrivals = append(arrivals, from)
+				return
+			}
+			// Identical per-hop latency keeps every relay at an equal
+			// timestamp, forcing the queue to break ties by insertion order.
+			sim.Schedule(10, func() { hop(next, from) })
+		}
+		for node := 0; node < top.Nodes; node++ {
+			node := node
+			sim.Schedule(5, func() { hop(node, node) })
+		}
+		sim.RunAll()
+		return arrivals
+	}
+
+	a, b := route(), route()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("equal-time routing diverged between runs:\n%v\n%v", a, b)
+	}
+	if len(a) != 7 {
+		t.Fatalf("lost traffic: %d of 7 messages reached main (%v)", len(a), a)
+	}
+	// The root's own sample needs no relay hop, so it must arrive first;
+	// deeper nodes arrive strictly later, in node order within a level.
+	want := []int{0, 1, 2, 3, 4, 5, 6}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("arrival order %v, want FIFO level order %v", a, want)
 	}
 }
 

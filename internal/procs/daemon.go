@@ -16,6 +16,10 @@ import (
 // The daemon is a single OS process: it does one piece of CPU work at a
 // time, and every message costs CPU (collection plus the forwarding system
 // call) followed by network occupancy to transmit.
+//
+// The fault layer (internal/faults) can crash the daemon transiently
+// (Crash/Restore) and engage graceful degradation via Thinning; both are
+// inert in the fault-free baseline.
 type PdDaemon struct {
 	Sim *des.Simulator
 	CPU *resources.CPU
@@ -37,9 +41,19 @@ type PdDaemon struct {
 	// the pure count-based BF of the paper's model.
 	FlushTimeout float64
 
+	// Thinning, when > 1, keeps only one of every Thinning collected
+	// samples — the graceful-degradation mechanism the fault layer
+	// engages under overload. Thinned samples still free pipe space (the
+	// daemon read them); they are just not forwarded. 0 or 1 forwards
+	// everything.
+	Thinning int
+
 	busy       bool
+	down       bool
+	epoch      int // bumped on Crash; stale CPU callbacks check it
 	relayQ     []*forward.Message
 	nextPipe   int
+	thinSeq    int
 	flushTimer *des.Event
 
 	// Metrics.
@@ -47,6 +61,9 @@ type PdDaemon struct {
 	SamplesForwarded  int // includes relayed samples (counted per hop)
 	SamplesCollected  int // distinct samples drained from local pipes
 	MessagesMerged    int
+	SamplesThinned    int // samples discarded by degradation thinning
+	CrashCount        int
+	CrashLostSamples  int // samples lost to crashes (relay queue, in-prep batch)
 }
 
 // ResetAccounting clears the daemon's metric counters; used for warmup
@@ -56,6 +73,9 @@ func (d *PdDaemon) ResetAccounting() {
 	d.SamplesForwarded = 0
 	d.SamplesCollected = 0
 	d.MessagesMerged = 0
+	d.SamplesThinned = 0
+	d.CrashCount = 0
+	d.CrashLostSamples = 0
 }
 
 // Start registers the daemon's pipe wake-ups.
@@ -63,6 +83,38 @@ func (d *PdDaemon) Start() {
 	for _, p := range d.Pipes {
 		p.SetOnData(d.Wake)
 	}
+}
+
+// Down reports whether the daemon is currently crashed.
+func (d *PdDaemon) Down() bool { return d.down }
+
+// Crash takes the daemon down transiently. In-memory state is lost: the
+// relay queue and any batch whose collection CPU work is in progress are
+// discarded (pipes are kernel buffers and survive, as does a message whose
+// network transmission already started). Messages arriving while down are
+// dropped without acknowledgement, so a resilient uplink retransmits them.
+func (d *PdDaemon) Crash() {
+	if d.down {
+		return
+	}
+	d.down = true
+	d.epoch++
+	d.CrashCount++
+	for _, m := range d.relayQ {
+		d.CrashLostSamples += len(m.Samples)
+	}
+	d.relayQ = nil
+	d.cancelFlush()
+	d.busy = false
+}
+
+// Restore brings a crashed daemon back up; it resumes draining its pipes.
+func (d *PdDaemon) Restore() {
+	if !d.down {
+		return
+	}
+	d.down = false
+	d.Wake()
 }
 
 // batchThreshold returns the number of samples BF waits for, clamped to
@@ -93,15 +145,31 @@ func (d *PdDaemon) available() int {
 	return n
 }
 
-// Receive accepts a message from a child daemon (tree forwarding).
+// Receive accepts a message from a child daemon (tree forwarding). A
+// crashed daemon drops the message (no acknowledgement is generated).
 func (d *PdDaemon) Receive(msg *forward.Message) {
+	if d.down {
+		d.CrashLostSamples += len(msg.Samples)
+		return
+	}
 	d.relayQ = append(d.relayQ, msg)
 	d.Wake()
 }
 
+// Accept is Receive with delivery feedback for resilient links: it reports
+// false — message refused, no ack — while the daemon is down, so the
+// sender's retransmission timer covers the outage.
+func (d *PdDaemon) Accept(msg *forward.Message) bool {
+	if d.down {
+		return false
+	}
+	d.Receive(msg)
+	return true
+}
+
 // Wake prompts the daemon to look for work. Safe to call at any time.
 func (d *PdDaemon) Wake() {
-	if d.busy {
+	if d.busy || d.down {
 		return
 	}
 	// Relaying children's data takes priority: it keeps the tree draining.
@@ -109,7 +177,12 @@ func (d *PdDaemon) Wake() {
 		msg := d.relayQ[0]
 		d.relayQ = d.relayQ[1:]
 		d.busy = true
+		epoch := d.epoch
 		d.CPU.Submit(OwnerPd, d.Cost.MergeCPU(d.R), func() {
+			if d.epoch != epoch { // crashed mid-merge: message lost
+				d.CrashLostSamples += len(msg.Samples)
+				return
+			}
 			d.MessagesMerged++
 			msg.Hops++
 			d.send(msg)
@@ -119,14 +192,19 @@ func (d *PdDaemon) Wake() {
 		return
 	}
 	thr := d.batchThreshold()
-	if d.available() >= thr {
+	for d.available() >= thr {
 		batch := d.drain(thr)
 		if len(batch) == 0 {
-			return
+			continue // batch fully thinned away; keep draining
 		}
 		d.cancelFlush()
 		d.busy = true
+		epoch := d.epoch
 		d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
+			if d.epoch != epoch { // crashed mid-collection: batch lost
+				d.CrashLostSamples += len(batch)
+				return
+			}
 			d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
 			d.busy = false
 			d.Wake()
@@ -142,7 +220,7 @@ func (d *PdDaemon) Wake() {
 // flush forwards whatever samples are buffered, regardless of batch size.
 func (d *PdDaemon) flush() {
 	d.flushTimer = nil
-	if d.busy || d.available() == 0 {
+	if d.busy || d.down || d.available() == 0 {
 		return
 	}
 	batch := d.drain(d.available())
@@ -150,7 +228,12 @@ func (d *PdDaemon) flush() {
 		return
 	}
 	d.busy = true
+	epoch := d.epoch
 	d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
+		if d.epoch != epoch {
+			d.CrashLostSamples += len(batch)
+			return
+		}
 		d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
 		d.busy = false
 		d.Wake()
@@ -164,7 +247,8 @@ func (d *PdDaemon) cancelFlush() {
 	}
 }
 
-// drain gathers up to want samples round-robin across the daemon's pipes.
+// drain gathers up to want samples round-robin across the daemon's pipes,
+// then applies degradation thinning to the collected batch.
 func (d *PdDaemon) drain(want int) []resources.Sample {
 	out := make([]resources.Sample, 0, want)
 	if len(d.Pipes) == 0 {
@@ -182,6 +266,17 @@ func (d *PdDaemon) drain(want int) []resources.Sample {
 		}
 	}
 	d.SamplesCollected += len(out)
+	if d.Thinning > 1 {
+		kept := out[:0]
+		for _, s := range out {
+			if d.thinSeq%d.Thinning == 0 {
+				kept = append(kept, s)
+			}
+			d.thinSeq++
+		}
+		d.SamplesThinned += len(out) - len(kept)
+		out = kept
+	}
 	return out
 }
 

@@ -359,3 +359,62 @@ func TestOpenSourceIndependentStreams(t *testing.T) {
 		t.Fatalf("other net %v", got)
 	}
 }
+
+func TestDaemonCrashLosesInMemoryStateOnly(t *testing.T) {
+	r := newRig(64)
+	d, delivered := newDaemon(r, forward.CF, 1)
+	// A relayed message and an in-preparation batch are both in memory.
+	d.Receive(&forward.Message{Samples: make([]resources.Sample, 3), FromNode: 9, Hops: 1})
+	r.pipe.Put(resources.Sample{GenTime: 1}, nil)
+	// Crash before any CPU work completes: merge CPU is in flight.
+	r.sim.Run(50) // < 100 us merge cost
+	d.Crash()
+	if !d.Down() || d.CrashCount != 1 {
+		t.Fatal("crash state")
+	}
+	// A message arriving while down is refused without an ack.
+	if d.Accept(&forward.Message{Samples: make([]resources.Sample, 2)}) {
+		t.Fatal("down daemon accepted a message")
+	}
+	r.sim.RunAll()
+	if len(*delivered) != 0 {
+		t.Fatal("crashed daemon forwarded data")
+	}
+	// 3 relayed samples lost with the relay queue + 2 refused via Receive
+	// path accounting happens only for Receive, not Accept: Accept refuses
+	// before any state is taken. The pipe sample survives (kernel buffer).
+	if d.CrashLostSamples != 3 {
+		t.Fatalf("crash-lost samples %d, want 3", d.CrashLostSamples)
+	}
+	if r.pipe.Len() != 1 {
+		t.Fatal("pipe contents must survive a daemon crash")
+	}
+	// Restore: the daemon drains the surviving pipe sample.
+	d.Restore()
+	r.sim.RunAll()
+	if len(*delivered) != 1 || d.SamplesForwarded != 1 {
+		t.Fatalf("restored daemon forwarded %d messages", len(*delivered))
+	}
+}
+
+func TestDaemonThinningForwardsSubset(t *testing.T) {
+	r := newRig(64)
+	d, delivered := newDaemon(r, forward.CF, 1)
+	d.Thinning = 4 // keep 1 in 4
+	for i := 0; i < 8; i++ {
+		r.pipe.Put(resources.Sample{GenTime: float64(i)}, nil)
+	}
+	r.sim.RunAll()
+	if d.SamplesCollected != 8 {
+		t.Fatalf("collected %d, want 8 (thinning must still drain the pipe)", d.SamplesCollected)
+	}
+	if d.SamplesThinned != 6 || d.SamplesForwarded != 2 {
+		t.Fatalf("thinned %d forwarded %d, want 6/2", d.SamplesThinned, d.SamplesForwarded)
+	}
+	if r.pipe.Len() != 0 {
+		t.Fatal("thinning must free pipe space")
+	}
+	if len(*delivered) != 2 {
+		t.Fatalf("delivered %d messages", len(*delivered))
+	}
+}

@@ -1,5 +1,11 @@
 package resources
 
+import (
+	"fmt"
+
+	"rocc/internal/des"
+)
+
 // Sample is one instrumentation data sample flowing from an application
 // process through a pipe to a Paradyn daemon and on to the main process.
 type Sample struct {
@@ -10,13 +16,45 @@ type Sample struct {
 	Node, Proc int
 }
 
+// OverflowPolicy selects what a Pipe does with a Put when it is full.
+type OverflowPolicy int
+
+const (
+	// Block suspends the writer until space frees — the real write(2)
+	// behavior on a full pipe, the §4.3.3 effect, and the default.
+	Block OverflowPolicy = iota
+	// DropNewest discards the incoming sample; the writer proceeds.
+	DropNewest
+	// DropOldest evicts the oldest buffered sample to admit the new one,
+	// preserving the freshest data; the writer proceeds.
+	DropOldest
+)
+
+// String implements fmt.Stringer.
+func (o OverflowPolicy) String() string {
+	switch o {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(o))
+}
+
 // Pipe is the bounded kernel buffer (a Unix pipe in the real system)
 // between an instrumented application process and its local Paradyn daemon.
-// When the pipe is full, the writing application process blocks — the
-// effect §4.3.3 of the paper identifies at small sampling periods, where a
-// full pipe stalls the application until the daemon drains samples.
+// Under the default Block policy a Put into a full pipe blocks the writing
+// application process — the effect §4.3.3 of the paper identifies at small
+// sampling periods, where a full pipe stalls the application until the
+// daemon drains samples. The DropNewest and DropOldest policies model
+// lossy kernel buffers instead: the writer never blocks and discarded
+// samples are accounted in Dropped.
 type Pipe struct {
 	capacity int
+	limit    int // fault-injected capacity squeeze; 0 = no limit
+	policy   OverflowPolicy
 	items    []Sample
 	blocked  []blockedPut
 
@@ -25,14 +63,25 @@ type Pipe struct {
 	// arrival matters, not just the empty-to-non-empty transition).
 	onData func()
 
-	// dropped counts samples discarded by TryPut on a full pipe.
-	dropped int
-	puts    int
+	// clock, if set, timestamps blocked writers for wait-time accounting.
+	clock func() des.Time
+
+	// dropped counts samples discarded for any reason (TryPut on a full
+	// pipe, DropNewest, DropOldest evictions).
+	dropped    int
+	droppedNew int
+	droppedOld int
+	puts       int
+
+	// blockedWait accumulates the simulated time writers spent blocked on
+	// a full pipe (completed waits only; see BlockedWaitTotal).
+	blockedWait float64
 }
 
 type blockedPut struct {
 	s          Sample
 	onAccepted func()
+	since      des.Time
 }
 
 // NewPipe returns a pipe with the given sample capacity (must be positive).
@@ -46,6 +95,50 @@ func NewPipe(capacity int) *Pipe {
 // SetOnData registers the reader wake-up callback.
 func (p *Pipe) SetOnData(fn func()) { p.onData = fn }
 
+// SetClock registers the simulation clock used to account blocked-writer
+// wait time. Without a clock, BlockedWaitTotal reports zero.
+func (p *Pipe) SetClock(fn func() des.Time) { p.clock = fn }
+
+// SetPolicy selects the overflow policy (default Block).
+func (p *Pipe) SetPolicy(policy OverflowPolicy) { p.policy = policy }
+
+// Policy returns the overflow policy.
+func (p *Pipe) Policy() OverflowPolicy { return p.policy }
+
+// SetCapacityLimit squeezes the pipe's effective capacity down to limit
+// samples (clamped to at least 1), modeling transient kernel buffer
+// pressure; 0 removes the limit. Raising or removing the limit admits
+// blocked writers into any space that opens up.
+func (p *Pipe) SetCapacityLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	p.limit = limit
+	p.admitBlocked()
+}
+
+// CapacityLimit returns the current squeeze limit (0 = none).
+func (p *Pipe) CapacityLimit() int { return p.limit }
+
+// effCap is the capacity currently enforced on writers.
+func (p *Pipe) effCap() int {
+	c := p.capacity
+	if p.limit > 0 && p.limit < c {
+		c = p.limit
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (p *Pipe) now() des.Time {
+	if p.clock == nil {
+		return 0
+	}
+	return p.clock()
+}
+
 // Len returns the number of buffered samples.
 func (p *Pipe) Len() int { return len(p.items) }
 
@@ -58,30 +151,80 @@ func (p *Pipe) Blocked() int { return len(p.blocked) }
 // Puts returns the total samples accepted into the pipe.
 func (p *Pipe) Puts() int { return p.puts }
 
-// Dropped returns samples discarded by TryPut.
+// Dropped returns the total samples discarded: TryPut on a full pipe plus
+// DropNewest discards plus DropOldest evictions.
 func (p *Pipe) Dropped() int { return p.dropped }
 
+// DroppedNewest returns samples discarded on arrival (TryPut, DropNewest).
+func (p *Pipe) DroppedNewest() int { return p.droppedNew }
+
+// DroppedOldest returns buffered samples evicted by DropOldest.
+func (p *Pipe) DroppedOldest() int { return p.droppedOld }
+
+// BlockedWaitTotal returns the cumulative simulated time writers have
+// spent blocked on a full pipe, including writers still blocked now.
+// Requires SetClock; without a clock it returns 0.
+func (p *Pipe) BlockedWaitTotal() float64 {
+	w := p.blockedWait
+	if p.clock != nil {
+		now := p.now()
+		for _, bp := range p.blocked {
+			w += now - bp.since
+		}
+	}
+	return w
+}
+
+// ResetAccounting clears the pipe's counters without disturbing buffered
+// samples or blocked writers (their wait restarts at the current clock);
+// used for warmup (initial-transient) removal.
+func (p *Pipe) ResetAccounting() {
+	p.dropped, p.droppedNew, p.droppedOld = 0, 0, 0
+	p.puts = 0
+	p.blockedWait = 0
+	now := p.now()
+	for i := range p.blocked {
+		p.blocked[i].since = now
+	}
+}
+
 // Put writes a sample. If there is room it is accepted immediately and Put
-// returns true. Otherwise the writer is blocked: Put returns false and
-// onAccepted fires later, when a Get frees space and the sample enters the
-// pipe. onAccepted may be nil.
+// returns true. On a full pipe the overflow policy decides: Block queues
+// the writer (Put returns false and onAccepted fires later, when space
+// frees and the sample enters the pipe); DropNewest discards the sample;
+// DropOldest evicts the oldest buffered sample to admit this one. Under
+// both drop policies the writer proceeds (Put returns true). onAccepted
+// may be nil.
 func (p *Pipe) Put(s Sample, onAccepted func()) bool {
-	if len(p.items) < p.capacity {
+	if len(p.items) < p.effCap() {
 		p.accept(s)
 		return true
 	}
-	p.blocked = append(p.blocked, blockedPut{s: s, onAccepted: onAccepted})
+	switch p.policy {
+	case DropNewest:
+		p.dropped++
+		p.droppedNew++
+		return true
+	case DropOldest:
+		p.items = p.items[1:]
+		p.dropped++
+		p.droppedOld++
+		p.accept(s)
+		return true
+	}
+	p.blocked = append(p.blocked, blockedPut{s: s, onAccepted: onAccepted, since: p.now()})
 	return false
 }
 
 // TryPut writes a sample if there is room, otherwise drops it and returns
 // false. It models lossy instrumentation buffers for ablation experiments.
 func (p *Pipe) TryPut(s Sample) bool {
-	if len(p.items) < p.capacity {
+	if len(p.items) < p.effCap() {
 		p.accept(s)
 		return true
 	}
 	p.dropped++
+	p.droppedNew++
 	return false
 }
 
@@ -94,23 +237,32 @@ func (p *Pipe) accept(s Sample) {
 }
 
 // Get removes and returns the oldest sample. When space frees and writers
-// are blocked, the oldest blocked sample enters the pipe and its onAccepted
-// callback fires.
+// are blocked, blocked samples enter the pipe in FIFO order and their
+// onAccepted callbacks fire.
 func (p *Pipe) Get() (Sample, bool) {
 	if len(p.items) == 0 {
 		return Sample{}, false
 	}
 	s := p.items[0]
 	p.items = p.items[1:]
-	if len(p.blocked) > 0 {
+	p.admitBlocked()
+	return s, true
+}
+
+// admitBlocked moves blocked writers into the pipe while space allows,
+// oldest first, accounting their completed wait time.
+func (p *Pipe) admitBlocked() {
+	for len(p.blocked) > 0 && len(p.items) < p.effCap() {
 		bp := p.blocked[0]
 		p.blocked = p.blocked[1:]
+		if p.clock != nil {
+			p.blockedWait += p.now() - bp.since
+		}
 		p.accept(bp.s)
 		if bp.onAccepted != nil {
 			bp.onAccepted()
 		}
 	}
-	return s, true
 }
 
 // Drain removes and returns up to max samples (all buffered samples if max

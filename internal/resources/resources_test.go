@@ -354,3 +354,130 @@ func TestQuickNetworkSerializes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPipeDropNewestPolicy(t *testing.T) {
+	p := NewPipe(2)
+	p.SetPolicy(DropNewest)
+	if p.Policy() != DropNewest {
+		t.Fatal("policy accessor")
+	}
+	p.Put(Sample{GenTime: 1}, nil)
+	p.Put(Sample{GenTime: 2}, nil)
+	if !p.Put(Sample{GenTime: 3}, nil) {
+		t.Fatal("DropNewest writer must not block")
+	}
+	if p.Blocked() != 0 || p.Len() != 2 {
+		t.Fatal("DropNewest must not queue the writer or grow the pipe")
+	}
+	if p.Dropped() != 1 || p.DroppedNewest() != 1 || p.DroppedOldest() != 0 {
+		t.Fatalf("drop accounting: %d/%d/%d", p.Dropped(), p.DroppedNewest(), p.DroppedOldest())
+	}
+	s, _ := p.Get()
+	if s.GenTime != 1 {
+		t.Fatal("DropNewest must keep the oldest samples")
+	}
+}
+
+func TestPipeDropOldestPolicy(t *testing.T) {
+	p := NewPipe(2)
+	p.SetPolicy(DropOldest)
+	p.Put(Sample{GenTime: 1}, nil)
+	p.Put(Sample{GenTime: 2}, nil)
+	if !p.Put(Sample{GenTime: 3}, nil) {
+		t.Fatal("DropOldest writer must not block")
+	}
+	if p.Len() != 2 || p.Dropped() != 1 || p.DroppedOldest() != 1 {
+		t.Fatalf("eviction accounting: len %d dropped %d", p.Len(), p.Dropped())
+	}
+	s, _ := p.Get()
+	if s.GenTime != 2 {
+		t.Fatalf("oldest not evicted: got %v", s.GenTime)
+	}
+	s, _ = p.Get()
+	if s.GenTime != 3 {
+		t.Fatal("newest sample lost")
+	}
+}
+
+func TestPipeBlockedWaitAccounting(t *testing.T) {
+	now := des.Time(0)
+	p := NewPipe(1)
+	p.SetClock(func() des.Time { return now })
+	p.Put(Sample{}, nil)
+	now = 10
+	p.Put(Sample{}, nil) // blocks at t=10
+	now = 25
+	if got := p.BlockedWaitTotal(); got != 15 {
+		t.Fatalf("in-progress wait %v, want 15", got)
+	}
+	p.Get() // admits the blocked writer at t=25
+	if got := p.BlockedWaitTotal(); got != 15 {
+		t.Fatalf("completed wait %v, want 15", got)
+	}
+	now = 100
+	if got := p.BlockedWaitTotal(); got != 15 {
+		t.Fatal("completed wait must not keep growing")
+	}
+	p.ResetAccounting()
+	if p.BlockedWaitTotal() != 0 || p.Puts() != 0 || p.Dropped() != 0 {
+		t.Fatal("ResetAccounting must clear counters")
+	}
+}
+
+func TestPipeCapacitySqueeze(t *testing.T) {
+	p := NewPipe(4)
+	for i := 0; i < 3; i++ {
+		p.Put(Sample{GenTime: float64(i)}, nil)
+	}
+	p.SetCapacityLimit(2)
+	if p.CapacityLimit() != 2 {
+		t.Fatal("limit accessor")
+	}
+	// Above the squeezed capacity: writers block even though Cap() has room.
+	if p.Put(Sample{GenTime: 9}, nil) {
+		t.Fatal("put above squeeze limit must block")
+	}
+	// Draining below the limit does not admit the blocked writer until
+	// there is space under the squeezed capacity.
+	p.Get() // len 2 == limit, still full
+	if p.Blocked() != 1 {
+		t.Fatal("writer admitted above the squeeze limit")
+	}
+	p.Get() // len 1 < limit: admit
+	if p.Blocked() != 0 || p.Len() != 2 {
+		t.Fatalf("blocked writer not admitted: blocked %d len %d", p.Blocked(), p.Len())
+	}
+	// Removing the limit restores the full capacity for writers.
+	p.SetCapacityLimit(0)
+	if !p.Put(Sample{}, nil) || !p.Put(Sample{}, nil) {
+		t.Fatal("puts under restored capacity should succeed")
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len %d, want 4", p.Len())
+	}
+}
+
+func TestPipeSqueezeReleaseAdmitsBlocked(t *testing.T) {
+	p := NewPipe(4)
+	p.SetCapacityLimit(1)
+	p.Put(Sample{GenTime: 1}, nil)
+	released := 0
+	p.Put(Sample{GenTime: 2}, func() { released++ })
+	p.Put(Sample{GenTime: 3}, func() { released++ })
+	if p.Blocked() != 2 {
+		t.Fatal("writers should block under the squeeze")
+	}
+	p.SetCapacityLimit(0) // pressure ends: both writers fit
+	if released != 2 || p.Blocked() != 0 || p.Len() != 3 {
+		t.Fatalf("squeeze release: released %d blocked %d len %d", released, p.Blocked(), p.Len())
+	}
+}
+
+func TestOverflowPolicyStrings(t *testing.T) {
+	if Block.String() != "block" || DropNewest.String() != "drop-newest" || DropOldest.String() != "drop-oldest" {
+		t.Fatal("policy strings")
+	}
+	if OverflowPolicy(9).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
