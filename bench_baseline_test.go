@@ -1,0 +1,71 @@
+package rocc
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"rocc/internal/experiments"
+)
+
+// benchBaseline mirrors cmd/roccbench's perf-record schema (schema_version 1).
+type benchBaseline struct {
+	SchemaVersion int     `json:"schema_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Parallel      int     `json:"parallel"`
+	Seed          uint64  `json:"seed"`
+	DurationUS    float64 `json:"duration_us"`
+	Reps          int     `json:"reps"`
+	Experiments   []struct {
+		ID           string  `json:"id"`
+		SerialNsOp   int64   `json:"serial_ns_per_op"`
+		ParallelNsOp int64   `json:"parallel_ns_per_op"`
+		Speedup      float64 `json:"speedup"`
+		AllocsPerOp  uint64  `json:"allocs_per_op"`
+		BytesPerOp   uint64  `json:"bytes_per_op"`
+	} `json:"experiments"`
+}
+
+// The committed benchmark baseline (regenerate with
+// `roccbench -exp bench -json -out BENCH_baseline.json`) must stay
+// well-formed and track experiments that still exist, so future PRs can
+// regress ns/op and allocs/op against it.
+func TestBenchBaselineTracked(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("BENCH_baseline.json must be committed at the repo root: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if b.SchemaVersion != 1 {
+		t.Fatalf("baseline schema_version %d, tooling expects 1", b.SchemaVersion)
+	}
+	if len(b.Experiments) == 0 {
+		t.Fatal("baseline records no experiments")
+	}
+	if b.Seed == 0 || b.DurationUS <= 0 || b.Reps < 1 {
+		t.Fatalf("baseline missing rerun context: %+v", b)
+	}
+	seen := map[string]bool{}
+	for _, e := range b.Experiments {
+		if _, ok := experiments.ByID(e.ID); !ok {
+			t.Errorf("baseline tracks %q, which is no longer registered", e.ID)
+		}
+		if e.SerialNsOp <= 0 || e.ParallelNsOp <= 0 || e.AllocsPerOp == 0 || e.BytesPerOp == 0 {
+			t.Errorf("baseline record %q has empty measurements: %+v", e.ID, e)
+		}
+		if e.Speedup <= 0 {
+			t.Errorf("baseline record %q has non-positive speedup", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// The DES- and replication-heavy anchors must stay tracked: they are
+	// the records the alloc-cut and fan-out work regresses against.
+	for _, anchor := range []string{"table4", "fig16", "fault-survivability"} {
+		if !seen[anchor] {
+			t.Errorf("baseline no longer tracks anchor experiment %q", anchor)
+		}
+	}
+}

@@ -6,6 +6,15 @@
 //	roccbench -exp fig17
 //	roccbench -exp all -duration 100 -reps 50   # paper scale
 //	roccbench -exp fig9 -csv                    # CSV series for plotting
+//	roccbench -exp fig16 -parallel 8            # fan replications over 8 workers
+//	roccbench -exp bench -json -out BENCH_baseline.json   # perf record
+//
+// -parallel N fans the independent simulation runs of an experiment
+// (replications, factorial rows, sweep points) over N worker goroutines;
+// 0 means one per core, 1 forces the serial path. Output is byte-identical
+// at any setting. -json measures each experiment serial and parallel and
+// writes a machine-readable perf record (ns/op, allocs/op, speedup) used
+// to track the engine's trajectory in BENCH_baseline.json.
 package main
 
 import (
@@ -29,6 +38,9 @@ func main() {
 		plot      = flag.Bool("plot", false, "additionally render figures as ASCII charts")
 		paper     = flag.Bool("paper", false, "paper-scale options (100 s, r=50, 5 s testbed; slow)")
 		seed      = flag.Uint64("seed", 1, "master random seed")
+		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = one per core, 1 = serial)")
+		jsonOut   = flag.Bool("json", false, "measure serial vs parallel and emit a JSON perf record")
+		outPath   = flag.String("out", "", "write the -json perf record to this file (default stdout)")
 	)
 	flag.Parse()
 
@@ -57,6 +69,21 @@ func main() {
 		opt.Plot = *plot
 		opt.Seed = *seed
 	}
+	opt.Parallel = *parallel
+
+	if *jsonOut {
+		ids := expandIDs(*exp)
+		rep, err := measurePerf(ids, opt, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		if err := writePerf(rep, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *exp == "all" {
 		if err := experiments.RunAll(os.Stdout, opt); err != nil {
@@ -66,11 +93,7 @@ func main() {
 		return
 	}
 	// Comma-separated lists run in order: roccbench -exp fig17,fig18,fig19
-	for _, id := range strings.Split(*exp, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
-		}
+	for _, id := range expandIDs(*exp) {
 		e, ok := experiments.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "roccbench: unknown experiment %q (try -list)\n", id)
@@ -82,4 +105,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// trackedBenchIDs is the replication- and DES-heavy experiment set whose
+// perf record is committed as BENCH_baseline.json: the NOW/SMP/MPP
+// factorial tables (reps × rows fan-out), the NOW sweeps, and the
+// fault-survivability matrix.
+var trackedBenchIDs = []string{
+	"table4", "fig16", "fig17", "fig18", "fig19",
+	"table5", "table6", "fault-survivability",
+}
+
+// expandIDs resolves the -exp argument: "all" is every registered
+// experiment, "bench" the tracked benchmark set, otherwise a
+// comma-separated id list.
+func expandIDs(exp string) []string {
+	switch exp {
+	case "all":
+		var ids []string
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+		return ids
+	case "bench":
+		return append([]string(nil), trackedBenchIDs...)
+	}
+	var ids []string
+	for _, id := range strings.Split(exp, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"rocc/internal/experiments"
+	"rocc/internal/par"
+)
+
+// perfSchemaVersion identifies the BENCH_*.json record layout; bump on
+// incompatible changes so regression tooling can refuse stale baselines.
+const perfSchemaVersion = 1
+
+// perfRecord is the machine-readable performance record of one experiment:
+// wall-clock per regeneration serial and parallel, the speedup, and the
+// serial run's allocation profile.
+type perfRecord struct {
+	ID           string  `json:"id"`
+	SerialNsOp   int64   `json:"serial_ns_per_op"`
+	ParallelNsOp int64   `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+}
+
+// perfReport is the file written by -json (and committed as
+// BENCH_baseline.json): enough context to rerun the measurement plus one
+// record per experiment.
+type perfReport struct {
+	SchemaVersion int          `json:"schema_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Parallel      int          `json:"parallel"`
+	Seed          uint64       `json:"seed"`
+	DurationUS    float64      `json:"duration_us"`
+	Reps          int          `json:"reps"`
+	Experiments   []perfRecord `json:"experiments"`
+}
+
+// measurePerf regenerates each experiment twice — serial (pool size 1)
+// and with the configured pool — timing each pass and profiling the
+// serial pass's allocations. Both passes produce byte-identical output
+// (discarded here); only the clock differs.
+func measurePerf(ids []string, opt experiments.Options, parallel int) (perfReport, error) {
+	if parallel <= 0 {
+		parallel = par.Workers()
+	}
+	rep := perfReport{
+		SchemaVersion: perfSchemaVersion,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Parallel:      parallel,
+		Seed:          opt.Seed,
+		DurationUS:    opt.DurationUS,
+		Reps:          opt.Reps,
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return perfReport{}, fmt.Errorf("unknown experiment %q", id)
+		}
+		serial := opt
+		serial.Parallel = 1
+		serialNs, allocs, bytes, err := timedRun(e, serial)
+		if err != nil {
+			return perfReport{}, fmt.Errorf("%s (serial): %w", id, err)
+		}
+		wide := opt
+		wide.Parallel = parallel
+		parallelNs, _, _, err := timedRun(e, wide)
+		if err != nil {
+			return perfReport{}, fmt.Errorf("%s (parallel): %w", id, err)
+		}
+		speedup := 0.0
+		if parallelNs > 0 {
+			speedup = float64(serialNs) / float64(parallelNs)
+		}
+		rep.Experiments = append(rep.Experiments, perfRecord{
+			ID:           id,
+			SerialNsOp:   serialNs,
+			ParallelNsOp: parallelNs,
+			Speedup:      speedup,
+			AllocsPerOp:  allocs,
+			BytesPerOp:   bytes,
+		})
+		fmt.Fprintf(os.Stderr, "%-22s serial %8.1f ms  parallel %8.1f ms  speedup %.2fx  %d allocs\n",
+			id, float64(serialNs)/1e6, float64(parallelNs)/1e6, speedup, allocs)
+	}
+	return rep, nil
+}
+
+// timedRun regenerates one experiment into io.Discard, returning the
+// wall-clock nanoseconds and the run's allocation deltas.
+func timedRun(e experiments.Experiment, opt experiments.Options) (ns int64, allocs, bytes uint64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := e.Run(io.Discard, opt); err != nil {
+		return 0, 0, 0, err
+	}
+	ns = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return ns, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+// writePerf emits the report as indented JSON to path, or stdout when
+// path is empty.
+func writePerf(rep perfReport, path string) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

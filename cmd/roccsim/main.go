@@ -39,6 +39,7 @@ func main() {
 		commApp  = flag.Bool("comm", false, "communication-intensive application type")
 		noBg     = flag.Bool("nobg", false, "disable PVM daemon and other background processes")
 		reps     = flag.Int("reps", 1, "replications (CI printed when > 1)")
+		parallel = flag.Int("parallel", 0, "replication worker pool size (0 = one per core, 1 = serial)")
 		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
 		traceOut = flag.String("trace", "", "record node 0's occupancy to this AIX-like trace file")
 		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
@@ -47,7 +48,7 @@ func main() {
 	flag.Parse()
 
 	if *cfgIn != "" {
-		runFromFile(*cfgIn, *reps)
+		runFromFile(*cfgIn, *reps, *parallel)
 		return
 	}
 
@@ -139,7 +140,7 @@ func main() {
 		*reps = 1
 	} else {
 		var err error
-		rep, err = core.RunReplications(cfg, *reps)
+		rep, err = core.RunReplicationsParallel(cfg, *reps, *parallel)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -189,7 +190,7 @@ func printResult(cfg core.Config, rep core.Replicated, reps int) {
 }
 
 // runFromFile loads a JSON scenario, runs it, and prints the metrics.
-func runFromFile(path string, reps int) {
+func runFromFile(path string, reps, parallel int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -203,7 +204,7 @@ func runFromFile(path string, reps int) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	rep, err := core.RunReplications(cfg, reps)
+	rep, err := core.RunReplicationsParallel(cfg, reps, parallel)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -71,12 +71,22 @@ func TestQuickModelInvariants(t *testing.T) {
 			maxUtil += cfg.Quantum / cfg.Duration * 100
 		}
 		for _, u := range []float64{
-			res.PdCPUUtilPct, res.AppCPUUtilPct, res.ISCPUUtilPct,
+			res.PdCPUUtilPct, res.AppCPUUtilPct,
 			res.MainCPUUtilPct, res.PvmCPUUtilPct, res.OtherCPUUtilPct,
 		} {
 			if u < 0 || u > maxUtil {
 				return false
 			}
+		}
+		// Outside SMP, ISCPUUtilPct sums daemon utilization on the app
+		// nodes with main's utilization of its own host, so its bound is
+		// two full CPUs; on SMP it shares the one processor pool.
+		maxIS := 2 * maxUtil
+		if cfg.Arch == SMP {
+			maxIS = maxUtil
+		}
+		if res.ISCPUUtilPct < 0 || res.ISCPUUtilPct > maxIS {
+			return false
 		}
 		if res.MonitoringLatencySec < 0 || res.ThroughputPerSec < 0 {
 			return false

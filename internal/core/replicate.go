@@ -1,6 +1,7 @@
 package core
 
 import (
+	"rocc/internal/par"
 	"rocc/internal/stats"
 )
 
@@ -11,22 +12,47 @@ type Replicated struct {
 }
 
 // RunReplications runs reps independent replications of cfg, varying only
-// the random seed (derived deterministically from cfg.Seed).
+// the random seed (derived deterministically from cfg.Seed via DeriveSeed).
+// Replications fan out across par.Workers() goroutines; results are
+// identical to the serial path because every seed is pre-derived and each
+// replication owns its model (simulator, RNG streams, resources).
 func RunReplications(cfg Config, reps int) (Replicated, error) {
+	return RunReplicationsParallel(cfg, reps, 0)
+}
+
+// ReplicationSeeds pre-derives the reps model seeds RunReplications uses
+// for a scenario with the given base seed. Exposed so experiment drivers
+// that flatten replications into larger work lists (the factorial designs)
+// produce results byte-identical to the per-scenario path.
+func ReplicationSeeds(base uint64, reps int) []uint64 {
 	if reps < 1 {
 		reps = 1
 	}
-	out := Replicated{Results: make([]Result, 0, reps)}
-	for i := 0; i < reps; i++ {
+	seeds := make([]uint64, reps)
+	for i := range seeds {
+		seeds[i] = DeriveSeed(base, SeedStreamReplication, uint64(i))
+	}
+	return seeds
+}
+
+// RunReplicationsParallel is RunReplications with an explicit worker-pool
+// size: 1 forces the serial path, 0 uses the par.Workers() default. Any
+// pool size yields identical Results for a fixed cfg.Seed.
+func RunReplicationsParallel(cfg Config, reps, workers int) (Replicated, error) {
+	seeds := ReplicationSeeds(cfg.Seed, reps)
+	results, err := par.Map(workers, seeds, func(_ int, seed uint64) (Result, error) {
 		c := cfg
-		c.Seed = cfg.Seed*1_000_003 + uint64(i)
+		c.Seed = seed
 		m, err := New(c)
 		if err != nil {
-			return Replicated{}, err
+			return Result{}, err
 		}
-		out.Results = append(out.Results, m.Run())
+		return m.Run(), nil
+	})
+	if err != nil {
+		return Replicated{}, err
 	}
-	return out, nil
+	return Replicated{Results: results}, nil
 }
 
 // Metric extracts one scalar from a Result.

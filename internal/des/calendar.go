@@ -12,6 +12,14 @@ func NewHeapCalendar() *HeapCalendar { return &HeapCalendar{} }
 // Len implements Calendar.
 func (h *HeapCalendar) Len() int { return len(h.events) }
 
+// Peek implements Calendar: the next event without removing it.
+func (h *HeapCalendar) Peek() *Event {
+	if len(h.events) == 0 {
+		return nil
+	}
+	return h.events[0]
+}
+
 func (h *HeapCalendar) less(i, j int) bool {
 	a, b := h.events[i], h.events[j]
 	if a.time != b.time {
@@ -99,6 +107,14 @@ func NewListCalendar() *ListCalendar { return &ListCalendar{} }
 
 // Len implements Calendar.
 func (l *ListCalendar) Len() int { return l.n }
+
+// Peek implements Calendar: the next event without removing it.
+func (l *ListCalendar) Peek() *Event {
+	if l.head == nil {
+		return nil
+	}
+	return l.head.e
+}
 
 // Push implements Calendar.
 func (l *ListCalendar) Push(e *Event) {

@@ -16,6 +16,16 @@ import "math"
 type Time = float64
 
 // Event is a scheduled callback. It can be canceled before it fires.
+//
+// Recycling contract: once an event has fired, or has been discarded by
+// the dispatch loop after cancellation, the simulator may reuse the Event
+// for a later Schedule/At call (a per-simulator free list keeps the hot
+// path allocation-free). Holders must therefore drop or overwrite a
+// retained *Event as soon as it fires or as soon as they cancel it —
+// exactly the hygiene the model already practices (a daemon's flush timer
+// is nil'd in its own callback and after Cancel; a link's retransmission
+// timer is replaced inside its timeout). Querying or canceling a handle
+// kept beyond that point may observe an unrelated, recycled event.
 type Event struct {
 	time     Time
 	seq      uint64
@@ -50,7 +60,8 @@ func (e *Event) Fired() bool { return e.fired }
 // event-queue ablation benchmark).
 type Calendar interface {
 	Push(*Event)
-	Pop() *Event // next event in (time, seq) order, nil when empty
+	Pop() *Event  // next event in (time, seq) order, nil when empty
+	Peek() *Event // next event without removing it, nil when empty
 	Len() int
 }
 
@@ -60,9 +71,17 @@ type Simulator struct {
 	cal Calendar
 	seq uint64
 
+	// free recycles fired and discarded-canceled events so steady-state
+	// scheduling allocates nothing (see the Event recycling contract).
+	free []*Event
+
 	// Dispatched counts events actually executed (not canceled ones).
 	Dispatched uint64
 }
+
+// maxFree caps the free list so a burst of in-flight events cannot pin
+// memory for the rest of a run.
+const maxFree = 4096
 
 // New returns a simulator with a heap calendar, clock at zero.
 func New() *Simulator { return NewWithCalendar(NewHeapCalendar()) }
@@ -87,15 +106,34 @@ func (s *Simulator) Schedule(delay Time, fn func()) *Event {
 	return s.At(s.now+delay, fn)
 }
 
-// At queues fn to run at absolute time t >= Now().
+// At queues fn to run at absolute time t >= Now(). The Event returned may
+// be a recycled one (see the Event recycling contract).
 func (s *Simulator) At(t Time, fn func()) *Event {
 	if t < s.now || math.IsNaN(t) {
 		panic("des: scheduling into the past")
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{time: t, seq: s.seq, fn: fn, index: -1}
+	} else {
+		e = &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	}
 	s.seq++
 	s.cal.Push(e)
 	return e
+}
+
+// release returns a spent event (fired, or canceled and discarded) to the
+// free list. The closure is severed here for canceled events; fire already
+// severed it for dispatched ones.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	if len(s.free) < maxFree {
+		s.free = append(s.free, e)
+	}
 }
 
 // Step dispatches the next event. It returns false when the calendar is
@@ -113,11 +151,12 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.time
 		if e.canceled {
-			e.fn = nil
+			s.release(e)
 			continue
 		}
 		s.Dispatched++
 		s.fire(e)
+		s.release(e)
 		return true
 	}
 }
@@ -134,29 +173,29 @@ func (s *Simulator) fire(e *Event) {
 }
 
 // Run dispatches events until the calendar is empty or the next event is
-// after until; the clock finishes exactly at until. Events scheduled at
-// time == until are dispatched.
+// after until; the clock finishes exactly at until and never exceeds it,
+// even when the head of the calendar is a canceled event past the horizon
+// (such events stay queued for a later Run call). Events scheduled at
+// time == until are dispatched. Peek keeps the horizon check off the
+// Pop/Push round-trip the old implementation paid at every Run boundary.
 func (s *Simulator) Run(until Time) {
 	if until < s.now {
 		panic("des: Run target before current time")
 	}
 	for {
-		e := s.cal.Pop()
-		if e == nil {
+		e := s.cal.Peek()
+		if e == nil || e.time > until {
 			break
 		}
-		if e.time > until {
-			// Put it back for a later Run call.
-			s.cal.Push(e)
-			break
-		}
+		s.cal.Pop()
 		s.now = e.time
 		if e.canceled {
-			e.fn = nil
+			s.release(e)
 			continue
 		}
 		s.Dispatched++
 		s.fire(e)
+		s.release(e)
 	}
 	s.now = until
 }

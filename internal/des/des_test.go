@@ -296,6 +296,96 @@ func TestCancelAfterFireAndCancelTwice(t *testing.T) {
 	}
 }
 
+// Regression (clock semantics at the Run horizon): a canceled event at
+// the head of the calendar that lies past `until` must not advance the
+// clock beyond `until` — it stays queued for a later Run call and is
+// discarded only when the horizon reaches it. A canceled event exactly at
+// the horizon is discarded without dispatching.
+func TestRunBoundaryWithCanceledHead(t *testing.T) {
+	for _, mk := range []func() Calendar{
+		func() Calendar { return NewHeapCalendar() },
+		func() Calendar { return NewListCalendar() },
+	} {
+		s := NewWithCalendar(mk())
+		fired := 0
+		past := s.Schedule(20, func() { fired++ }) // head event beyond the horizon
+		past.Cancel()
+		s.Run(10)
+		if s.Now() != 10 {
+			t.Fatalf("%T: canceled head past horizon moved clock to %v, want 10", s.cal, s.Now())
+		}
+		if s.Pending() != 1 {
+			t.Fatalf("%T: canceled head past horizon was discarded early (pending %d)", s.cal, s.Pending())
+		}
+
+		at := s.Schedule(5, func() { fired++ }) // t = 15: exactly at the next horizon
+		at.Cancel()
+		s.Run(15)
+		if s.Now() != 15 || fired != 0 {
+			t.Fatalf("%T: canceled event at horizon: now %v fired %d", s.cal, s.Now(), fired)
+		}
+		if s.Pending() != 1 { // only the canceled t=20 event remains
+			t.Fatalf("%T: canceled event at horizon not discarded (pending %d)", s.cal, s.Pending())
+		}
+		if s.Dispatched != 0 {
+			t.Fatalf("%T: canceled events counted as dispatched", s.cal)
+		}
+
+		s.Run(30) // horizon passes the canceled t=20 event: discard, clock at 30
+		if s.Now() != 30 || s.Pending() != 0 || fired != 0 {
+			t.Fatalf("%T: final state now=%v pending=%d fired=%d", s.cal, s.Now(), s.Pending(), fired)
+		}
+	}
+}
+
+// The free list must recycle spent events: steady-state scheduling reuses
+// the same structs instead of allocating, and a recycled event carries
+// none of its previous incarnation's state.
+func TestEventRecycling(t *testing.T) {
+	s := New()
+	e1 := s.Schedule(1, func() {})
+	s.RunAll()
+	e2 := s.Schedule(1, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled by the next Schedule")
+	}
+	if e2.Fired() || e2.Canceled() || e2.Time() != s.Now()+1 {
+		t.Fatalf("recycled event carries stale state: fired=%v canceled=%v t=%v",
+			e2.Fired(), e2.Canceled(), e2.Time())
+	}
+	e2.Cancel()
+	s.RunAll()
+	e3 := s.Schedule(2, func() {})
+	if e3 != e2 {
+		t.Fatal("discarded canceled event was not recycled")
+	}
+	if e3.Canceled() {
+		t.Fatal("recycled event inherited the canceled flag")
+	}
+	s.RunAll()
+}
+
+// Steady-state self-rescheduling workloads must not allocate events: the
+// free list turns the per-event allocation into reuse.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	s := New()
+	var rec func()
+	n := 0
+	rec = func() {
+		n++
+		if n < 100 {
+			s.Schedule(1, rec)
+		}
+	}
+	s.Schedule(1, rec)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step allocated %.1f objects per event", allocs)
+	}
+}
+
 // A fired event releases its callback closure so retained *Event handles
 // (e.g. a daemon's flush timer) cannot pin captured state.
 func TestFiredEventReleasesClosure(t *testing.T) {

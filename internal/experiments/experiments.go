@@ -31,6 +31,11 @@ type Options struct {
 	CSV bool
 	// Plot additionally renders each figure as an ASCII line chart.
 	Plot bool
+	// Parallel is the worker-pool size for simulation fan-out: 0 uses
+	// every core (par.Workers()), 1 forces the serial path. Output is
+	// byte-identical at any setting — seeds are pre-derived and results
+	// collected in index order.
+	Parallel int
 }
 
 // Default returns the fast default scaling.

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"rocc/internal/core"
 )
 
 // tinyOptions shrinks every experiment far enough to run in CI.
@@ -167,6 +170,96 @@ func TestFaultSweepByteIdentical(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "delivered % (resilient)") {
 		t.Fatalf("sweep table missing survivability columns:\n%s", a.String())
+	}
+}
+
+// The end-to-end determinism contract of the parallel sweep engine: a
+// full experiment (fig16: a 2^k·r factorial with replications, plus
+// allocation-of-variation tables) renders byte-identical output whether
+// the runs execute serially or fan out one goroutine per core. Run under
+// -race in CI, this also exercises the fan-out for data races.
+func TestFig16ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	e, _ := ByID("fig16")
+	opt := tinyOptions()
+	opt.DurationUS = 1e5
+
+	render := func(parallel int) string {
+		o := opt
+		o.Parallel = parallel
+		var buf bytes.Buffer
+		if err := e.Run(&buf, o); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{0, runtime.NumCPU(), 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("parallel=%d output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// The fault-survivability table must also be pool-size independent (its
+// cells fan out across a flattened variant × intensity × resilience cube).
+func TestFaultSweepParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.DurationUS = 1e5
+	sw := DefaultFaultSweep()
+	sw.LossLevels = []float64{0.05}
+	var serial, parallel bytes.Buffer
+	opt.Parallel = 1
+	if err := FaultSweep(&serial, opt, sw); err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 8
+	if err := FaultSweep(&parallel, opt, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("fault sweep depends on pool size:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// The flattened factorial fan-out must reproduce the per-row
+// RunReplications path bit for bit: same DeriveSeed chain, same results.
+func TestFactorialMatchesReplicationPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	opt := tinyOptions()
+	opt.DurationUS = 1e5
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 2
+	rows := []factorialRow{{label: "row0", cfg: cfg}}
+
+	ov, _, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg
+	want.Duration = opt.DurationUS
+	want.Seed = core.DeriveSeed(opt.Seed, core.SeedStreamFactorial, 0)
+	rep, err := core.RunReplicationsParallel(want, opt.Reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov[0]) != len(rep.Results) {
+		t.Fatalf("replicate counts differ: %d vs %d", len(ov[0]), len(rep.Results))
+	}
+	for i, r := range rep.Results {
+		if ov[0][i] != core.MetricPdCPUTime(r) {
+			t.Fatalf("replicate %d: factorial %v vs replication path %v",
+				i, ov[0][i], core.MetricPdCPUTime(r))
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"rocc/internal/core"
 	"rocc/internal/faults"
 	"rocc/internal/forward"
+	"rocc/internal/par"
 	"rocc/internal/report"
 )
 
@@ -113,36 +114,46 @@ func FaultSweep(w io.Writer, opt Options, sw FaultSweepOptions) error {
 		"delivered % (bare)", "delivered % (resilient)",
 		"retransmits", "giveups", "recovery (ms)", "crashes", "degraded (s)")
 
+	// Flatten the variant × intensity × {bare, resilient} cube into one
+	// work list and fan it out; each cell is a share-nothing model run.
+	// Rows are composed afterwards in the fixed enumeration order, so the
+	// table stays byte-identical at any pool size.
+	type cell struct {
+		v    faultVariant
+		loss float64
+		plan faults.Plan
+	}
+	var cells []cell
 	for _, v := range faultVariants() {
 		for li, loss := range sw.LossLevels {
 			plan := faults.Plan{
-				Seed:        opt.Seed + uint64(li)*7919,
+				Seed:        core.DeriveSeed(opt.Seed, core.SeedStreamFault, uint64(li)),
 				Loss:        loss,
 				Dup:         loss * sw.DupFraction,
 				CrashMTBF:   sw.CrashMTBFUS,
 				SqueezeMTBF: sw.SqueezeMTBFUS,
 			}
-
-			bare, err := runFaultVariant(v, sw, opt, plan)
-			if err != nil {
-				return err
-			}
-
+			cells = append(cells, cell{v: v, loss: loss, plan: plan})
 			plan.Resilience = faults.Resilience{Retransmit: true, Degrade: true}
-			res, err := runFaultVariant(v, sw, opt, plan)
-			if err != nil {
-				return err
-			}
-
-			arch, pol, fwd := v.label()
-			t.AddRow(arch, pol, fwd, report.F(loss*100),
-				report.F(delivered(bare)), report.F(delivered(res)),
-				fmt.Sprintf("%d", res.Retransmits),
-				fmt.Sprintf("%d", res.RetransmitGiveUps),
-				report.F(res.RecoveryMeanSec*1000),
-				fmt.Sprintf("%d", res.Crashes),
-				report.F(res.DegradedResidencySec))
+			cells = append(cells, cell{v: v, loss: loss, plan: plan})
 		}
+	}
+	results, err := par.Map(opt.Parallel, cells, func(_ int, c cell) (core.Result, error) {
+		return runFaultVariant(c.v, sw, opt, c.plan)
+	})
+	if err != nil {
+		return err
+	}
+	for k := 0; k < len(cells); k += 2 {
+		bare, res := results[k], results[k+1]
+		arch, pol, fwd := cells[k].v.label()
+		t.AddRow(arch, pol, fwd, report.F(cells[k].loss*100),
+			report.F(delivered(bare)), report.F(delivered(res)),
+			fmt.Sprintf("%d", res.Retransmits),
+			fmt.Sprintf("%d", res.RetransmitGiveUps),
+			report.F(res.RecoveryMeanSec*1000),
+			fmt.Sprintf("%d", res.Crashes),
+			report.F(res.DegradedResidencySec))
 	}
 	return t.Render(w)
 }

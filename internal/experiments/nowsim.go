@@ -131,16 +131,9 @@ func runFig17(w io.Writer, opt Options) error {
 		{"Throughput (samples/sec)", core.MetricPdThroughput},
 	}
 	for _, p := range panels {
-		results := make([][]core.Result, len(p.vs))
-		for vi, v := range p.vs {
-			results[vi] = make([]core.Result, len(p.xs))
-			for xi, x := range p.xs {
-				res, err := runOne(v.cfg(x), opt)
-				if err != nil {
-					return err
-				}
-				results[vi][xi] = res
-			}
+		results, err := runGrid(opt, p.xs, p.vs)
+		if err != nil {
+			return err
 		}
 		for _, metric := range metrics {
 			fig := report.NewFigure(p.title, p.xlabel, metric.name, p.xs)

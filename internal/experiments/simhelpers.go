@@ -6,6 +6,7 @@ import (
 
 	"rocc/internal/core"
 	"rocc/internal/doe"
+	"rocc/internal/par"
 	"rocc/internal/report"
 )
 
@@ -40,21 +41,43 @@ func runOne(cfg core.Config, opt Options) (core.Result, error) {
 	return m.Run(), nil
 }
 
+// runGrid executes the variants × xs simulation grid, fanning the
+// share-nothing runs across opt.Parallel workers, and returns the results
+// indexed [variant][x]. Collection order is fixed by the grid, not by
+// completion, so the grid is deterministic at any pool size.
+func runGrid(opt Options, xs []float64, variants []simVariant) ([][]core.Result, error) {
+	type point struct{ vi, xi int }
+	grid := make([]point, 0, len(variants)*len(xs))
+	for vi := range variants {
+		for xi := range xs {
+			grid = append(grid, point{vi, xi})
+		}
+	}
+	flat, err := par.Map(opt.Parallel, grid, func(_ int, p point) (core.Result, error) {
+		res, err := runOne(variants[p.vi].cfg(xs[p.xi]), opt)
+		if err != nil {
+			return core.Result{}, fmt.Errorf("%s @ %v: %w", variants[p.vi].name, xs[p.xi], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]core.Result, len(variants))
+	for vi := range variants {
+		results[vi] = flat[vi*len(xs) : (vi+1)*len(xs)]
+	}
+	return results, nil
+}
+
 // simSweep renders one figure per metric across the x values and variants
 // (single replication per point; the factorial tables carry the
 // replicated, CI-bearing runs).
 func simSweep(w io.Writer, opt Options, title, xlabel string, xs []float64, variants []simVariant) error {
 	// Cache runs: every metric reuses the same simulations.
-	results := make([][]core.Result, len(variants))
-	for vi, v := range variants {
-		results[vi] = make([]core.Result, len(xs))
-		for xi, x := range xs {
-			res, err := runOne(v.cfg(x), opt)
-			if err != nil {
-				return fmt.Errorf("%s @ %v: %w", v.name, x, err)
-			}
-			results[vi][xi] = res
-		}
+	results, err := runGrid(opt, xs, variants)
+	if err != nil {
+		return err
 	}
 	for _, metric := range simMetrics {
 		fig := report.NewFigure(title, xlabel, metric.name, xs)
@@ -83,21 +106,48 @@ type factorialRow struct {
 // runFactorial executes the 2^k·r design and returns, per row, the
 // replicate values of the two reported metrics (direct overhead and
 // monitoring latency), in the standard order expected by doe.Analyze2KR.
+//
+// The rows × reps grid is flattened into one work list so all runs fan
+// out together across opt.Parallel workers. Seeds chain through
+// core.DeriveSeed exactly as the per-row RunReplications path would
+// derive them (row seed from SeedStreamFactorial, replication seeds from
+// the row seed), so the flattened fan-out reproduces that path's results
+// bit for bit.
 func runFactorial(rows []factorialRow, opt Options, overhead, latency core.Metric) (ov, lat [][]float64, err error) {
-	ov = make([][]float64, len(rows))
-	lat = make([][]float64, len(rows))
+	reps := opt.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	type job struct {
+		row int
+		cfg core.Config
+	}
+	jobs := make([]job, 0, len(rows)*reps)
 	for i, row := range rows {
 		cfg := row.cfg
 		cfg.Duration = opt.DurationUS
-		cfg.Seed = opt.Seed + uint64(i)*7919
-		rep, err := core.RunReplications(cfg, opt.Reps)
+		rowSeed := core.DeriveSeed(opt.Seed, core.SeedStreamFactorial, uint64(i))
+		for _, seed := range core.ReplicationSeeds(rowSeed, reps) {
+			c := cfg
+			c.Seed = seed
+			jobs = append(jobs, job{row: i, cfg: c})
+		}
+	}
+	flat, err := par.Map(opt.Parallel, jobs, func(_ int, j job) (core.Result, error) {
+		m, err := core.New(j.cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("row %s: %w", row.label, err)
+			return core.Result{}, fmt.Errorf("row %s: %w", rows[j.row].label, err)
 		}
-		for _, r := range rep.Results {
-			ov[i] = append(ov[i], overhead(r))
-			lat[i] = append(lat[i], latency(r))
-		}
+		return m.Run(), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ov = make([][]float64, len(rows))
+	lat = make([][]float64, len(rows))
+	for k, j := range jobs {
+		ov[j.row] = append(ov[j.row], overhead(flat[k]))
+		lat[j.row] = append(lat[j.row], latency(flat[k]))
 	}
 	return ov, lat, nil
 }

@@ -116,15 +116,15 @@ func runFig21(w io.Writer, opt Options) error {
 		{"Figure 21(b): BF policy (batch = 32)", variants(forward.BF, 32)},
 	}
 	for _, p := range panels {
+		results, err := runGrid(opt, cpus, p.vs)
+		if err != nil {
+			return err
+		}
 		fig := report.NewFigure(p.title, "cpus", "Throughput_pd (samples/sec)", cpus)
-		for _, v := range p.vs {
+		for vi, v := range p.vs {
 			ys := make([]float64, len(cpus))
-			for xi, x := range cpus {
-				res, err := runOne(v.cfg(x), opt)
-				if err != nil {
-					return err
-				}
-				ys[xi] = res.PdThroughputPerSec
+			for xi := range cpus {
+				ys[xi] = results[vi][xi].PdThroughputPerSec
 			}
 			if err := fig.Add(v.name, ys); err != nil {
 				return err

@@ -1,0 +1,108 @@
+// Package par provides the bounded, order-preserving parallel execution
+// primitives used by the simulation layer. The paper's evaluation is
+// embarrassingly parallel — independent replications, factorial designs,
+// and multi-point sweeps — and every core.Model is share-nothing (it owns
+// its simulator, RNG streams, and resources), so scenarios can fan out one
+// goroutine per run with no synchronization beyond result collection.
+//
+// Determinism is the hard constraint: callers pre-derive every seed before
+// fanning out, and Map writes each result at its item's index, so output
+// is byte-identical to the serial path for a fixed seed at any worker
+// count. Only the standard library is used.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the pool size when positive; zero falls back to
+// runtime.GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// Workers returns the default pool size: the value set by SetWorkers, or
+// GOMAXPROCS when unset.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the default pool size for subsequent Map calls with
+// workers <= 0. Passing n <= 0 restores the GOMAXPROCS default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Map applies fn to every item on a bounded pool of worker goroutines and
+// returns the results in item order. workers <= 0 uses Workers(); workers
+// is additionally capped at len(items). With one worker (or one item) Map
+// degenerates to a plain serial loop on the calling goroutine.
+//
+// Every item is processed even when some fail, and the error reported is
+// the one with the lowest item index — the same error the serial loop
+// would hit first — so failures are deterministic regardless of goroutine
+// scheduling. On error the partial results are discarded.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers == 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		retErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx, retErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx != -1 {
+		return nil, retErr
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(workers, items, func(i, v int) (int, error) {
+			if i%5 == 0 {
+				time.Sleep(time.Duration(i%3) * time.Millisecond) // scramble completion order
+			}
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, nil, func(i, v int) (int, error) { return v, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty input: %v, %v", out, err)
+	}
+}
+
+// The reported error must be the lowest-index failure — what the serial
+// loop would hit first — regardless of scheduling.
+func TestMapErrorDeterministic(t *testing.T) {
+	items := make([]int, 100)
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(8, items, func(i, _ int) (int, error) {
+			if i == 13 || i == 77 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "fail at 13" {
+			t.Fatalf("trial %d: error %v, want fail at 13", trial, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	items := make([]int, 64)
+	_, err := Map(workers, items, func(i, _ int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, cap %d", p, workers)
+	}
+}
+
+func TestWorkersOverride(t *testing.T) {
+	defer SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+	SetWorkers(-3)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetWorkers(-3) did not restore the default")
+	}
+}
+
+// A single-worker Map must run entirely on the calling goroutine so that
+// serial fallbacks have zero scheduling overhead and identical stack
+// behavior to a plain loop.
+func TestMapSerialFastPath(t *testing.T) {
+	var calls int // no atomics: the race detector verifies single-threading
+	out, err := Map(1, []int{1, 2, 3}, func(i, v int) (int, error) {
+		calls++
+		return v + 1, nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	if out[0] != 2 || out[2] != 4 {
+		t.Fatalf("out %v", out)
+	}
+}
+
+func TestMapSerialErrorStopsEarly(t *testing.T) {
+	calls := 0
+	_, err := Map(1, []int{0, 1, 2, 3}, func(i, _ int) (int, error) {
+		calls++
+		if i == 1 {
+			return 0, errors.New("boom")
+		}
+		return 0, nil
+	})
+	if err == nil || calls != 2 {
+		t.Fatalf("serial path should stop at first error: calls=%d err=%v", calls, err)
+	}
+}

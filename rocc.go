@@ -32,6 +32,7 @@ import (
 	"rocc/internal/core"
 	"rocc/internal/experiments"
 	"rocc/internal/forward"
+	"rocc/internal/par"
 	"rocc/internal/scenario"
 	"rocc/internal/testbed"
 	"rocc/internal/trace"
@@ -109,10 +110,25 @@ func Simulate(cfg Config) (Result, error) {
 }
 
 // SimulateReplications runs reps independent replications (the paper uses
-// r=50 with 90% confidence intervals; see Replicated.CI).
+// r=50 with 90% confidence intervals; see Replicated.CI). Replications fan
+// out across one worker per core by default — each model is share-nothing
+// and seeds are pre-derived, so results are identical to the serial path
+// for a fixed cfg.Seed; see SetParallelism.
 func SimulateReplications(cfg Config, reps int) (Replicated, error) {
 	return core.RunReplications(cfg, reps)
 }
+
+// SimulateReplicationsParallel is SimulateReplications with an explicit
+// worker-pool size: 1 forces the serial path, 0 uses the default.
+func SimulateReplicationsParallel(cfg Config, reps, workers int) (Replicated, error) {
+	return core.RunReplicationsParallel(cfg, reps, workers)
+}
+
+// SetParallelism sets the default worker-pool size used by replication and
+// sweep fan-out throughout the library; n <= 0 restores the one-worker-
+// per-core default. Determinism is unaffected: any pool size produces the
+// same results for a fixed seed.
+func SetParallelism(n int) { par.SetWorkers(n) }
 
 // Operational analysis (Section 3).
 type (
