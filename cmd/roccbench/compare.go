@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression tolerance bands for -compare. Wall-clock is measured on
+// whatever machine CI lands on, so its band is loose — it catches
+// order-of-magnitude blowups, not percent-level drift. Allocation counts
+// are deterministic for a fixed seed and configuration, so their band is
+// tight.
+const (
+	nsTolerance    = 10.0
+	allocTolerance = 1.5
+)
+
+// readPerf loads a perf record written by -json.
+func readPerf(path string) (perfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return perfReport{}, err
+	}
+	var rep perfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return perfReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// comparePerf checks a current perf record against a committed baseline:
+// every baseline experiment must be present, and neither ns/op nor
+// allocs/op may exceed its tolerance band. Returns an error listing every
+// violation (the CI regression gate).
+func comparePerf(curPath, basePath string) error {
+	cur, err := readPerf(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readPerf(basePath)
+	if err != nil {
+		return err
+	}
+	if cur.SchemaVersion != base.SchemaVersion {
+		return fmt.Errorf("schema mismatch: current v%d, baseline v%d", cur.SchemaVersion, base.SchemaVersion)
+	}
+	if cur.DurationUS != base.DurationUS || cur.Reps != base.Reps || cur.Seed != base.Seed {
+		return fmt.Errorf("config mismatch: current (dur=%v reps=%d seed=%d) vs baseline (dur=%v reps=%d seed=%d) — records are not comparable",
+			cur.DurationUS, cur.Reps, cur.Seed, base.DurationUS, base.Reps, base.Seed)
+	}
+	byID := map[string]perfRecord{}
+	for _, r := range cur.Experiments {
+		byID[r.ID] = r
+	}
+	var violations []string
+	for _, b := range base.Experiments {
+		c, ok := byID[b.ID]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current record", b.ID))
+			continue
+		}
+		nsRatio := ratio(float64(c.SerialNsOp), float64(b.SerialNsOp))
+		allocRatio := ratio(float64(c.AllocsPerOp), float64(b.AllocsPerOp))
+		status := "ok"
+		if nsRatio > nsTolerance {
+			status = "REGRESSION"
+			violations = append(violations, fmt.Sprintf(
+				"%s: serial ns/op %d vs baseline %d (%.2fx > %.1fx band)",
+				b.ID, c.SerialNsOp, b.SerialNsOp, nsRatio, nsTolerance))
+		}
+		if allocRatio > allocTolerance {
+			status = "REGRESSION"
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %d vs baseline %d (%.2fx > %.1fx band)",
+				b.ID, c.AllocsPerOp, b.AllocsPerOp, allocRatio, allocTolerance))
+		}
+		fmt.Printf("%-22s ns/op %.2fx  allocs/op %.2fx  %s\n", b.ID, nsRatio, allocRatio, status)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "roccbench: "+v)
+		}
+		return fmt.Errorf("%d perf regression(s) vs %s", len(violations), basePath)
+	}
+	fmt.Printf("all %d experiments within tolerance (ns/op %.1fx, allocs/op %.1fx)\n",
+		len(base.Experiments), nsTolerance, allocTolerance)
+	return nil
+}
+
+// ratio is current/baseline, treating a zero baseline as no change.
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return cur / base
+}

@@ -8,6 +8,8 @@
 //	roccbench -exp fig9 -csv                    # CSV series for plotting
 //	roccbench -exp fig16 -parallel 8            # fan replications over 8 workers
 //	roccbench -exp bench -json -out BENCH_baseline.json   # perf record
+//	roccbench -compare BENCH_PR3.json -baseline BENCH_baseline.json
+//	roccbench -exp fig17 -cpuprofile cpu.pprof  # profile the regeneration
 //
 // -parallel N fans the independent simulation runs of an experiment
 // (replications, factorial rows, sweep points) over N worker goroutines;
@@ -21,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,8 +45,51 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = one per core, 1 = serial)")
 		jsonOut   = flag.Bool("json", false, "measure serial vs parallel and emit a JSON perf record")
 		outPath   = flag.String("out", "", "write the -json perf record to this file (default stdout)")
+		compare   = flag.String("compare", "", "check this -json perf record against -baseline and exit")
+		baseline  = flag.String("baseline", "", "baseline perf record for -compare")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "roccbench: -compare requires -baseline")
+			os.Exit(2)
+		}
+		if err := comparePerf(*compare, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "roccbench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "roccbench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -6,16 +6,23 @@
 //	roccsim -arch now -nodes 8 -sp 40 -policy cf
 //	roccsim -arch mpp -nodes 256 -policy bf -batch 32 -forward tree
 //	roccsim -arch smp -nodes 16 -procs 32 -pds 2 -policy bf -batch 32
+//	roccsim -nodes 8 -trace run.json            # Chrome/Perfetto trace
+//	roccsim -nodes 8 -trace run.txt             # AIX-like text trace
+//	roccsim -cpuprofile cpu.pprof -log - -loglevel debug
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"rocc/internal/core"
 	"rocc/internal/forward"
+	"rocc/internal/obs"
 	"rocc/internal/report"
 	"rocc/internal/scenario"
 	"rocc/internal/trace"
@@ -41,14 +48,24 @@ func main() {
 		reps     = flag.Int("reps", 1, "replications (CI printed when > 1)")
 		parallel = flag.Int("parallel", 0, "replication worker pool size (0 = one per core, 1 = serial)")
 		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
-		traceOut = flag.String("trace", "", "record node 0's occupancy to this AIX-like trace file")
+		traceOut = flag.String("trace", "", "export the run's trace (.json = Chrome/Perfetto, else AIX-like text)")
 		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
 		cfgOut   = flag.String("save-config", "", "write the scenario as JSON and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit")
+		execTr   = flag.String("exectrace", "", "write a Go runtime execution trace")
+		logDest  = flag.String("log", "", "write structured run logs to this file (\"-\" = stderr)")
+		logLevel = flag.String("loglevel", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	stopProf := startProfiling(*cpuProf, *execTr)
+	logger := openLogger(*logDest, *logLevel)
+
 	if *cfgIn != "" {
 		runFromFile(*cfgIn, *reps, *parallel)
+		stopProf()
+		writeMemProfile(*memProf)
 		return
 	}
 
@@ -114,40 +131,148 @@ func main() {
 	var res core.Result
 	var rep core.Replicated
 	if *traceOut != "" {
-		// Trace recording requires direct model access; single run.
+		// Tracing requires direct model access; single run with the full
+		// observability layer (all CPUs + sample lifecycle + metrics).
 		m, err := core.New(cfg)
 		if err != nil {
 			fatal("%v", err)
 		}
-		rec, err := m.EnableTraceRecording(0)
+		c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
 		if err != nil {
 			fatal("%v", err)
 		}
+		logger.SetClock(func() float64 { return float64(m.Sim.Now()) })
+		logger.Info("run started", "arch", cfg.Arch.String(), "nodes", cfg.Nodes,
+			"policy", cfg.Policy.String(), "duration_sec", cfg.Duration/1e6, "seed", cfg.Seed)
 		res = m.Run()
+		logger.Info("run finished",
+			"generated", c.Metrics.Generated.Value(),
+			"delivered", c.Metrics.Delivered.Value(),
+			"dropped", c.Metrics.Dropped.Value(),
+			"events", c.Metrics.Events.Value())
 		rep = core.Replicated{Results: []core.Result{res}}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := trace.WriteText(f, rec.Records()); err != nil {
-			f.Close()
+		if err := writeTrace(*traceOut, c); err != nil {
 			fatal("writing trace: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			fatal("%v", err)
-		}
-		fmt.Printf("recorded %d occupancy records to %s\n", rec.Len(), *traceOut)
 		*reps = 1
 	} else {
+		logger.Info("run started", "arch", cfg.Arch.String(), "nodes", cfg.Nodes,
+			"policy", cfg.Policy.String(), "duration_sec", cfg.Duration/1e6,
+			"seed", cfg.Seed, "reps", *reps)
 		var err error
 		rep, err = core.RunReplicationsParallel(cfg, *reps, *parallel)
 		if err != nil {
 			fatal("%v", err)
 		}
 		res = rep.Results[0]
+		logger.Info("run finished", "generated", res.SamplesGenerated, "delivered", res.SamplesReceived)
 	}
 
 	printResult(cfg, rep, *reps)
+	stopProf()
+	writeMemProfile(*memProf)
+}
+
+// writeTrace exports the collected trace: Chrome trace-event JSON (loadable
+// in Perfetto / chrome://tracing) when the path ends in .json, the AIX-like
+// text format (readable by rocctrace) otherwise.
+func writeTrace(path string, c *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		if err := c.Sink.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d spans + %d events) to %s\n",
+			len(c.Sink.Spans()), len(c.Sink.Events()), path)
+		return nil
+	}
+	recs := c.Sink.TraceRecords()
+	if err := trace.WriteText(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d occupancy records to %s\n", len(recs), path)
+	return nil
+}
+
+// startProfiling begins the requested runtime profiles and returns a stop
+// function (a no-op when no profiling flags were given).
+func startProfiling(cpu, exec string) func() {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if exec != "" {
+		f, err := os.Create(exec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal("%v", err)
+		}
+		stops = append(stops, func() { rtrace.Stop(); f.Close() })
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+}
+
+// writeMemProfile dumps a heap profile after a GC, if requested.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// openLogger builds the structured run logger; nil (safe to call) when -log
+// was not given.
+func openLogger(dest, level string) *obs.Logger {
+	if dest == "" {
+		return nil
+	}
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if dest == "-" {
+		return obs.NewLogger(os.Stderr, lv)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return obs.NewLogger(f, lv)
 }
 
 // printResult renders the metric table for a (possibly replicated) run.
@@ -171,6 +296,11 @@ func printResult(cfg core.Config, rep core.Replicated, reps int) {
 	row("IS CPU utilization/node (%)", core.MetricISCPUUtil)
 	row("application CPU utilization/node (%)", core.MetricAppCPUUtil)
 	row("monitoring latency/sample (sec)", core.MetricLatency)
+	if res.MonitoringLatencyP50Sec > 0 {
+		// Histogram quantiles exist only when the observability layer ran.
+		t.AddRow("monitoring latency P50 (sec)", report.F(res.MonitoringLatencyP50Sec))
+		t.AddRow("monitoring latency P99 (sec)", report.F(res.MonitoringLatencyP99Sec))
+	}
 	row("monitoring latency P95 (sec)", core.MetricLatencyP95)
 	row("monitoring latency max (sec)", core.MetricLatencyMax)
 	row("forwarding latency/sample (sec)", core.MetricFwdLatency)

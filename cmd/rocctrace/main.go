@@ -4,13 +4,14 @@
 //
 // Examples:
 //
-//	roccfit -gen trace.txt -seconds 100
 //	rocctrace -in trace.txt
 //	rocctrace -in trace.txt -timeline 20
+//	rocctrace -in trace.txt -json
 //	rocctrace -in trace.bin -format binary -timeline 12 -resource net
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		format   = flag.String("format", "text", "trace format: text or binary")
 		timeline = flag.Int("timeline", 0, "render an N-window utilization timeline")
 		resource = flag.String("resource", "cpu", "timeline resource: cpu or net")
+		asJSON   = flag.Bool("json", false, "emit the analysis as JSON instead of a table")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,6 +41,15 @@ func main() {
 	an, err := trace.Analyze(recs)
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(an); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	t := report.NewTable(

@@ -1,0 +1,206 @@
+// Command roccviz renders an instrumented simulation run as telemetry
+// reports: sample-lifecycle counters, monitoring-latency quantiles, a
+// windowed CPU occupancy timeline, and the periodic sampler series. It
+// also exports and validates Chrome trace-event JSON (the Perfetto /
+// chrome://tracing format), which is what the CI smoke step checks.
+//
+// Examples:
+//
+//	roccviz -nodes 8 -sp 40
+//	roccviz -nodes 8 -windows 20 -series
+//	roccviz -nodes 4 -export run.json      # Chrome trace for Perfetto
+//	roccviz -check run.json                # validate an exported trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/obs"
+	"rocc/internal/report"
+	"rocc/internal/trace"
+)
+
+func main() {
+	var (
+		arch    = flag.String("arch", "now", "architecture: now, smp, mpp")
+		nodes   = flag.Int("nodes", 8, "number of nodes (CPUs for SMP)")
+		spMS    = flag.Float64("sp", 40, "sampling period in milliseconds")
+		policy  = flag.String("policy", "cf", "forwarding policy: cf or bf")
+		batch   = flag.Int("batch", 32, "batch size under the BF policy")
+		dur     = flag.Float64("duration", 10, "simulated seconds")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		windows = flag.Int("windows", 10, "occupancy timeline windows")
+		series  = flag.Bool("series", false, "also print the periodic sampler series")
+		csv     = flag.Bool("csv", false, "emit figures as CSV")
+		export  = flag.String("export", "", "write the run's Chrome trace JSON to this file")
+		check   = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fatal("%v", err)
+		}
+		n, err := obs.ValidateChrome(f)
+		f.Close()
+		if err != nil {
+			fatal("%s: %v", *check, err)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", *check, n)
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	switch strings.ToLower(*arch) {
+	case "now":
+		cfg.Arch = core.NOW
+	case "smp":
+		cfg.Arch = core.SMP
+	case "mpp":
+		cfg.Arch = core.MPP
+	default:
+		fatal("unknown architecture %q", *arch)
+	}
+	cfg.Nodes = *nodes
+	cfg.SamplingPeriod = *spMS * 1000
+	switch strings.ToLower(*policy) {
+	case "cf":
+		cfg.Policy = forward.CF
+	case "bf":
+		cfg.Policy = forward.BF
+		cfg.BatchSize = *batch
+	default:
+		fatal("unknown policy %q", *policy)
+	}
+	cfg.Duration = *dur * 1e6
+	cfg.Seed = *seed
+
+	m, err := core.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
+	if err != nil {
+		fatal("%v", err)
+	}
+	res := m.Run()
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := c.Sink.WriteChrome(f); err != nil {
+			f.Close()
+			fatal("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote Chrome trace (%d spans + %d events) to %s\n",
+			len(c.Sink.Spans()), len(c.Sink.Events()), *export)
+	}
+
+	ct := report.NewTable(
+		fmt.Sprintf("Telemetry: %s, %d nodes, SP=%.1f ms, %s", cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, cfg.Policy),
+		"counter", "count")
+	for _, cnt := range c.Metrics.Counters() {
+		ct.AddRow(cnt.Name, fmt.Sprint(cnt.Value()))
+	}
+	if err := ct.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+
+	qt := report.NewTable("Monitoring latency (sec)", "stat", "value")
+	qt.AddRow("p50", report.F(res.MonitoringLatencyP50Sec))
+	qt.AddRow("p95", report.F(c.Metrics.Latency.Quantile(0.95)/1e6))
+	qt.AddRow("p99", report.F(res.MonitoringLatencyP99Sec))
+	qt.AddRow("mean", report.F(res.MonitoringLatencySec))
+	qt.AddRow("max", report.F(res.MonitoringLatencyMaxSec))
+	if err := qt.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+
+	if err := renderTimeline(c, *windows, *csv); err != nil {
+		fatal("%v", err)
+	}
+
+	if *series {
+		if err := renderSeries(c, *csv); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// renderTimeline recovers the occupancy timeline from the run's own trace
+// records — the same analysis rocctrace applies to measured traces.
+func renderTimeline(c *obs.Collector, windows int, csv bool) error {
+	recs := c.Sink.TraceRecords()
+	if len(recs) == 0 {
+		fmt.Println("(no occupancy records: timeline skipped)")
+		return nil
+	}
+	classes, shares, err := trace.Timeline(recs, trace.CPU, windows)
+	if err != nil {
+		return err
+	}
+	an, err := trace.Analyze(recs)
+	if err != nil {
+		return err
+	}
+	width := an.DurationUS / float64(windows)
+	xs := make([]float64, windows)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) * width / 1e6
+	}
+	fig := report.NewFigure(
+		fmt.Sprintf("CPU occupancy share per %.3f-s window", width/1e6),
+		"t_sec", "share", xs)
+	for i, class := range classes {
+		if err := fig.Add(class, shares[i]); err != nil {
+			return err
+		}
+	}
+	if csv {
+		return fig.RenderCSV(os.Stdout)
+	}
+	return fig.Render(os.Stdout)
+}
+
+// renderSeries prints each periodic sampler series as a figure grouped by
+// shared timestamps (all probes tick together, so one x-axis serves all).
+func renderSeries(c *obs.Collector, csv bool) error {
+	all := c.Metrics.Series()
+	if len(all) == 0 || len(all[0].T) == 0 {
+		fmt.Println("(no sampler series recorded)")
+		return nil
+	}
+	xs := make([]float64, len(all[0].T))
+	for i, t := range all[0].T {
+		xs[i] = t / 1e6
+	}
+	fig := report.NewFigure("Periodic sampler series", "t_sec", "value", xs)
+	for _, s := range all {
+		if len(s.V) != len(xs) {
+			continue // defensive: mismatched probe, skip rather than abort
+		}
+		if err := fig.Add(s.Name, s.V); err != nil {
+			return err
+		}
+	}
+	if csv {
+		return fig.RenderCSV(os.Stdout)
+	}
+	return fig.Render(os.Stdout)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "roccviz: "+format+"\n", args...)
+	os.Exit(1)
+}

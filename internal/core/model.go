@@ -4,6 +4,7 @@ import (
 	"rocc/internal/des"
 	"rocc/internal/faults"
 	"rocc/internal/forward"
+	"rocc/internal/obs"
 	"rocc/internal/procs"
 	"rocc/internal/resources"
 	"rocc/internal/rng"
@@ -44,6 +45,11 @@ type Model struct {
 	inAltPhase bool
 
 	warmupCarryover int
+
+	// obsC is the attached observability collector (EnableObservability);
+	// obsPipeSeq hands out pipe IDs for its lifecycle events.
+	obsC       *obs.Collector
+	obsPipeSeq int
 }
 
 // Substream identifiers for reproducible per-entity random streams.
@@ -95,6 +101,10 @@ func New(cfg Config) (*Model, error) {
 func (m *Model) initPipe(p *resources.Pipe) *resources.Pipe {
 	p.SetClock(m.Sim.Now)
 	p.SetPolicy(m.Cfg.Overflow)
+	if m.obsC != nil { // pipes spawned after EnableObservability
+		p.SetObserver(m.obsPipeSeq, m.obsC)
+		m.obsPipeSeq++
+	}
 	return p
 }
 
@@ -345,6 +355,9 @@ func (m *Model) spawnChild(parent *procs.AppProcess, d *procs.PdDaemon) {
 		IOBlock:        parent.IOBlock,
 		Node:           node, ID: 1000 + m.spawnSeq,
 	}
+	if m.obsC != nil {
+		child.Obs = m.obsC
+	}
 	m.Apps = append(m.Apps, child)
 	child.Start()
 }
@@ -460,5 +473,8 @@ func (m *Model) resetAccounting() {
 	}
 	if m.Inj != nil {
 		m.Inj.ResetAccounting()
+	}
+	if m.obsC != nil {
+		m.obsC.ResetAccounting()
 	}
 }

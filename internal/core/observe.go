@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rocc/internal/obs"
+	"rocc/internal/resources"
+)
+
+// ObsOptions selects which halves of the observability layer to attach.
+type ObsOptions struct {
+	// Trace records occupancy spans (every CPU and the network, all
+	// nodes) and sample-lifecycle events into a TraceSink.
+	Trace bool
+	// Metrics attaches the counter/histogram registry and the periodic
+	// resource samplers.
+	Metrics bool
+	// SampleIntervalUS is the sampler period; 0 defaults to 1% of the
+	// configured duration (100 points per run).
+	SampleIntervalUS float64
+}
+
+// EnableObservability wires an obs.Collector through the assembled model:
+// occupancy hooks on every CPU and the network, lifecycle observers on
+// every pipe, application process, daemon, the main process, and (when a
+// fault plan is active) the uplinks, plus — with Metrics — the engine
+// observer and periodic utilization/queue/pipe-depth samplers.
+//
+// Call after New and before Start/Run, at most once. Unlike
+// EnableTraceRecording (which mirrors the paper's single-node AIX tracer
+// and claims the same OnOccupancy hooks), the trace here covers all
+// nodes, so per-class totals match the run's Result accounting; the two
+// recorders are mutually exclusive on one model.
+//
+// The samplers only read resource state; they never run model code or
+// draw random numbers, so an observed run produces the same Result as an
+// unobserved one.
+func (m *Model) EnableObservability(o ObsOptions) (*obs.Collector, error) {
+	if m.obsC != nil {
+		return nil, errors.New("core: observability already enabled")
+	}
+	if !o.Trace && !o.Metrics {
+		return nil, errors.New("core: enable at least one of Trace, Metrics")
+	}
+	c := obs.NewCollector(o.Trace, o.Metrics)
+	m.obsC = c
+
+	if c.Sink != nil {
+		hookCPU := func(unit int, cpu *resources.CPU) {
+			cpu.OnOccupancy = func(owner string, start, length float64) {
+				c.Occupancy(obs.OccCPU, unit, owner, start, length)
+			}
+		}
+		for i, cpu := range m.NodeCPUs {
+			hookCPU(i, cpu)
+		}
+		if m.dedicatedHost() {
+			hookCPU(len(m.NodeCPUs), m.HostCPU)
+		}
+		m.Net.OnOccupancy = func(owner string, start, length float64) {
+			c.Occupancy(obs.OccNet, 0, owner, start, length)
+		}
+	}
+
+	for _, d := range m.Daemons {
+		for _, p := range d.Pipes {
+			p.SetObserver(m.obsPipeSeq, c)
+			m.obsPipeSeq++
+		}
+		d.Obs = c
+	}
+	for _, a := range m.Apps {
+		a.Obs = c
+	}
+	m.Main.Obs = c
+	if m.Inj != nil {
+		m.Inj.SetObserver(c)
+	}
+
+	if c.Metrics != nil {
+		m.Sim.Obs = c
+		interval := o.SampleIntervalUS
+		if interval <= 0 {
+			interval = m.Cfg.Duration / 100
+		}
+		sampler := obs.NewSampler(m.Sim, interval)
+		m.addProbes(c, sampler, interval)
+		sampler.Start()
+	}
+	return c, nil
+}
+
+// Collector returns the attached collector, nil when observability is
+// not enabled.
+func (m *Model) Collector() *obs.Collector { return m.obsC }
+
+// dedicatedHost reports whether HostCPU is a CPU of its own rather than
+// an alias of NodeCPUs[0] (or the SMP pool).
+func (m *Model) dedicatedHost() bool {
+	return m.Cfg.DedicatedHost && m.Cfg.Arch != SMP
+}
+
+// addProbes registers the standard resource samplers: windowed busy
+// fraction and ready-queue length per CPU, the same for the network, and
+// aggregate pipe depth and blocked-writer counts. Utilization probes
+// report the busy time accumulated in each sampling window as a percent
+// of the window (an SMP pool can exceed 100: it has Nodes cores). The
+// first window after warmup reads low because accounting resets
+// mid-window; every later window is exact.
+func (m *Model) addProbes(c *obs.Collector, sampler *obs.Sampler, interval float64) {
+	utilProbe := func(name string, busyTotal func() float64) {
+		prev := 0.0
+		sampler.Probe(c.Metrics, name, func(t float64) float64 {
+			cur := busyTotal()
+			d := cur - prev
+			prev = cur
+			if d < 0 {
+				d = 0 // accounting was reset (warmup boundary) this window
+			}
+			return d / interval * 100
+		})
+	}
+	queueProbe := func(name string, read func() int) {
+		sampler.Probe(c.Metrics, name, func(t float64) float64 { return float64(read()) })
+	}
+	for i, cpu := range m.NodeCPUs {
+		cpu := cpu
+		utilProbe(fmt.Sprintf("cpu%d.util_pct", i), cpu.BusyTotal)
+		queueProbe(fmt.Sprintf("cpu%d.ready", i), func() int { return cpu.QueueLen() + cpu.Running() })
+	}
+	if m.dedicatedHost() {
+		utilProbe("host.util_pct", m.HostCPU.BusyTotal)
+		queueProbe("host.ready", func() int { return m.HostCPU.QueueLen() + m.HostCPU.Running() })
+	}
+	utilProbe("net.util_pct", m.Net.BusyTotal)
+	queueProbe("net.queue", m.Net.QueueLen)
+	queueProbe("pipes.depth", func() int {
+		n := 0
+		for _, d := range m.Daemons {
+			for _, p := range d.Pipes {
+				n += p.Len()
+			}
+		}
+		return n
+	})
+	queueProbe("pipes.blocked_writers", func() int {
+		n := 0
+		for _, d := range m.Daemons {
+			for _, p := range d.Pipes {
+				n += p.Blocked()
+			}
+		}
+		return n
+	})
+}

@@ -35,6 +35,10 @@ type Result struct {
 	MonitoringLatencySec    float64 // mean generation-to-receipt per sample
 	MonitoringLatencyP95Sec float64 // 95th percentile (P² estimate)
 	MonitoringLatencyMaxSec float64 // worst case observed
+	// P50/P99 come from the observability layer's latency histogram and
+	// are populated only when EnableObservability ran with Metrics.
+	MonitoringLatencyP50Sec float64
+	MonitoringLatencyP99Sec float64
 	ForwardLatencySec       float64 // mean transport delay (newest sample age)
 	ThroughputPerSec        float64 // samples received at main per second
 	PdThroughputPerSec      float64 // samples forwarded by daemons per second
@@ -125,6 +129,10 @@ func (m *Model) collect() Result {
 		res.MonitoringLatencyP95Sec = m.Main.LatencyP95.Value() / 1e6
 	}
 	res.MonitoringLatencyMaxSec = m.Main.LatencyMax / 1e6
+	if m.obsC != nil && m.obsC.Metrics != nil {
+		res.MonitoringLatencyP50Sec = m.obsC.Metrics.Latency.Quantile(0.50) / 1e6
+		res.MonitoringLatencyP99Sec = m.obsC.Metrics.Latency.Quantile(0.99) / 1e6
+	}
 	res.ForwardLatencySec = m.Main.ForwardLatency.Mean() / 1e6
 	res.ThroughputPerSec = float64(m.Main.SamplesReceived) / durSec
 

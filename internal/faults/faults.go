@@ -299,6 +299,15 @@ func (inj *Injector) Totals() Totals {
 	return t
 }
 
+// SetObserver attaches a lifecycle observer to every uplink created so
+// far; retransmission attempts are reported to it. A nil observer
+// detaches.
+func (inj *Injector) SetObserver(o procs.Observer) {
+	for _, l := range inj.Links {
+		l.obs = o
+	}
+}
+
 // ResetAccounting clears fault and resilience counters without disturbing
 // pending retransmissions or schedules; used for warmup removal.
 func (inj *Injector) ResetAccounting() {

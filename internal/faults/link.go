@@ -39,6 +39,9 @@ type Link struct {
 	// the retransmission timer covers the outage.
 	dst func(msg *forward.Message) bool
 
+	// obs, when non-nil, is notified of each retransmission attempt.
+	obs procs.Observer
+
 	nextID    uint64
 	pending   map[uint64]*pendingMsg
 	delivered map[uint64]bool
@@ -212,6 +215,9 @@ func (l *Link) timeout(id uint64) {
 	p.attempts++
 	l.Retransmits++
 	attempt := p.attempts
+	if l.obs != nil {
+		l.obs.MessageRetransmitted(l.node, l.sim.Now(), attempt)
+	}
 	// The retransmission re-occupies the network for a fresh transit cost.
 	l.net.Submit(procs.OwnerPd, l.cost.MsgNet(l.costR, len(p.msg.Samples)), func() {
 		if _, still := l.pending[id]; still {

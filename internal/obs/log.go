@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel inverts String (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger writes structured key=value run logs:
+//
+//	level=info t_us=1234.5 msg="run started" nodes=8
+//
+// A nil *Logger discards everything, so call sites need no guards. The
+// simulation clock, when set, stamps each line with simulated time.
+type Logger struct {
+	w     io.Writer
+	min   Level
+	clock func() float64
+}
+
+// NewLogger returns a logger writing lines at or above min to w. A nil w
+// returns a nil logger (all methods are nil-safe no-ops).
+func NewLogger(w io.Writer, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, min: min}
+}
+
+// SetClock attaches a simulated-time source; each line gains a t_us field.
+func (l *Logger) SetClock(fn func() float64) {
+	if l != nil {
+		l.clock = fn
+	}
+}
+
+// Enabled reports whether a line at level would be written.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.min }
+
+// Log writes one line: level, optional t_us, the message, then key=value
+// pairs from alternating kv entries (a trailing odd key gets value "?").
+// Values format with %v; strings containing spaces or quotes are quoted.
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(level.String())
+	if l.clock != nil {
+		fmt.Fprintf(&b, " t_us=%.1f", l.clock())
+	}
+	b.WriteString(" msg=")
+	b.WriteString(quoteVal(msg))
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprintf("%v", kv[i])
+		val := "?"
+		if i+1 < len(kv) {
+			val = fmt.Sprintf("%v", kv[i+1])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quoteVal(val))
+	}
+	b.WriteByte('\n')
+	io.WriteString(l.w, b.String())
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// quoteVal quotes a value when it would break key=value tokenization.
+func quoteVal(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("run started", "nodes", 8, "arch", "now")
+	l.Warn("pipe full", "node", 3)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line written at info level")
+	}
+	for _, want := range []string{
+		"level=info msg=\"run started\" nodes=8 arch=now\n",
+		"level=warn msg=\"pipe full\" node=3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerQuotingAndOddPairs(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelDebug)
+	l.Info("m", "path", "a b", "empty", "", "dangling")
+	out := buf.String()
+	for _, want := range []string{`path="a b"`, `empty=""`, "dangling=?"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger // also what NewLogger(nil, ...) returns
+	if NewLogger(nil, LevelInfo) != nil {
+		t.Fatal("NewLogger(nil) must return nil")
+	}
+	l.Info("no panic", "k", "v")
+	l.SetClock(func() float64 { return 0 })
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+}
+
+func TestLoggerSimClock(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelDebug)
+	l.SetClock(func() float64 { return 1234.5 })
+	l.Debug("tick")
+	if !strings.Contains(buf.String(), "t_us=1234.5") {
+		t.Fatalf("missing sim-time stamp: %s", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"math"
+
+	"rocc/internal/des"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	Name string
+	v    uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	Name string
+	v    float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a bucketed distribution with interpolated quantiles. The
+// bucket i counts observations in (bounds[i-1], bounds[i]]; one overflow
+// bucket catches everything above the last bound.
+type Histogram struct {
+	Name   string
+	bounds []float64
+	counts []uint64 // len(bounds)+1
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket bounds.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bounds starting at start with
+// the given growth factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by locating the bucket
+// holding the target rank and interpolating linearly within it, on the
+// usual assumption of uniform spread inside a bucket. The estimate is
+// clamped to the observed [Min, Max], which also gives exact answers for
+// the overflow bucket and single-bucket edge cases. Returns 0 when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	rank := p * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			// Bucket i holds the rank. Its value range is
+			// (bounds[i-1], bounds[i]], clamped to what was observed.
+			lo := h.min
+			if i > 0 && h.bounds[i-1] > lo {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// reset zeroes the histogram in place.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+	h.min, h.max = math.Inf(1), math.Inf(-1)
+}
+
+// Series is one sampled time series: value V[i] observed at simulated
+// time T[i] (microseconds).
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Metrics is the run's metric registry: fixed counters covering the
+// sample pipeline, the delivery-latency histogram, and any sampler
+// series. Everything is touched from the single simulation goroutine;
+// no locking.
+type Metrics struct {
+	Events        Counter // engine events dispatched
+	Generated     Counter // samples written by application processes
+	Delivered     Counter // samples received at the main process
+	DeliveredMsgs Counter // forwarded messages received at the main process
+	Dropped       Counter // samples discarded at full pipes
+	BlockedPuts   Counter // application writes stalled on a full pipe
+	Batches       Counter // daemon pipe-drain batches
+	Forwards      Counter // messages put on the network by daemons
+	Retransmits   Counter // resilient-uplink retries
+	Crashes       Counter // daemon crashes
+
+	// Latency is the end-to-end sample delivery delay in microseconds
+	// (generation at the application to receipt at the main process) —
+	// the Figure 16 quantity, as a distribution rather than a mean.
+	Latency *Histogram
+
+	series []*Series
+}
+
+// NewMetrics returns a registry with the standard pipeline counters and a
+// latency histogram spanning 100 µs to ~100 s in quarter-decade buckets.
+func NewMetrics() *Metrics {
+	m := &Metrics{Latency: NewHistogram("sample_latency_us", ExpBuckets(100, math.Sqrt2, 40))}
+	for name, c := range map[string]*Counter{
+		"events":       &m.Events,
+		"generated":    &m.Generated,
+		"delivered":    &m.Delivered,
+		"messages":     &m.DeliveredMsgs,
+		"dropped":      &m.Dropped,
+		"blocked_puts": &m.BlockedPuts,
+		"batches":      &m.Batches,
+		"forwards":     &m.Forwards,
+		"retransmits":  &m.Retransmits,
+		"crashes":      &m.Crashes,
+	} {
+		c.Name = name
+	}
+	return m
+}
+
+// Counters returns the registry's counters in a stable order.
+func (m *Metrics) Counters() []*Counter {
+	return []*Counter{
+		&m.Events, &m.Generated, &m.Delivered, &m.DeliveredMsgs, &m.Dropped,
+		&m.BlockedPuts, &m.Batches, &m.Forwards, &m.Retransmits, &m.Crashes,
+	}
+}
+
+// Series returns the sampler time series registered so far.
+func (m *Metrics) Series() []*Series { return m.series }
+
+// Reset zeroes all counters, the latency histogram, and sampler series
+// (warmup removal); probe registrations survive.
+func (m *Metrics) Reset() {
+	for _, c := range m.Counters() {
+		c.v = 0
+	}
+	m.Latency.reset()
+	for _, s := range m.series {
+		s.T = s.T[:0]
+		s.V = s.V[:0]
+	}
+}
+
+// Sampler periodically captures gauge-style probes as time series. It
+// rides the simulator's own event calendar: each tick reads every probe
+// and reschedules itself, so sampling is purely observational — it runs
+// no model code and leaves model-event ordering untouched.
+type Sampler struct {
+	sim      *des.Simulator
+	interval float64
+	probes   []probe
+	stopped  bool
+}
+
+type probe struct {
+	series *Series
+	read   func(tUS float64) float64
+}
+
+// NewSampler returns a sampler ticking every interval microseconds
+// (interval must be positive).
+func NewSampler(sim *des.Simulator, interval float64) *Sampler {
+	if interval <= 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	return &Sampler{sim: sim, interval: interval}
+}
+
+// Probe registers a named probe; read is called at each tick with the
+// current simulated time. The returned series fills as the run advances
+// and is also appended to the registry m (when m is non-nil).
+func (s *Sampler) Probe(m *Metrics, name string, read func(tUS float64) float64) *Series {
+	ser := &Series{Name: name}
+	s.probes = append(s.probes, probe{series: ser, read: read})
+	if m != nil {
+		m.series = append(m.series, ser)
+	}
+	return ser
+}
+
+// Start schedules the first tick. Call once, after all probes are
+// registered.
+func (s *Sampler) Start() { s.sim.Schedule(s.interval, s.tick) }
+
+// Stop halts sampling after the current tick.
+func (s *Sampler) Stop() { s.stopped = true }
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	t := float64(s.sim.Now())
+	for _, p := range s.probes {
+		p.series.T = append(p.series.T, t)
+		p.series.V = append(p.series.V, p.read(t))
+	}
+	s.sim.Schedule(s.interval, s.tick)
+}

@@ -80,6 +80,9 @@ type AppProcess struct {
 
 	Node, ID int
 
+	// Obs, when non-nil, receives sample-generation notifications.
+	Obs Observer
+
 	// Generated counts samples produced (including ones that blocked).
 	Generated int
 	// BlockedPuts counts samples whose pipe write blocked the process.
@@ -96,6 +99,11 @@ type AppProcess struct {
 	paused           bool // loop paused waiting for unblock/barrier release
 	workSinceBarrier float64
 	workSinceSpawn   float64
+
+	// sampleSeq numbers this process's samples from run start; unlike
+	// Generated it is never reset, so (Node, ID, Seq) stays a unique
+	// sample identity across the warmup boundary.
+	sampleSeq int
 }
 
 // ResetAccounting clears the process's metric counters; used for warmup
@@ -174,8 +182,7 @@ func (a *AppProcess) afterIteration() {
 // (event tracing); a full pipe blocks the process exactly like the
 // timer-driven path.
 func (a *AppProcess) emitSample() {
-	s := resources.Sample{GenTime: a.Sim.Now(), Node: a.Node, Proc: a.ID}
-	a.Generated++
+	s := a.newSample()
 	accepted := a.Pipe.Put(s, func() {
 		a.blocked = false
 		if a.paused {
@@ -186,6 +193,18 @@ func (a *AppProcess) emitSample() {
 		a.blocked = true
 		a.BlockedPuts++
 	}
+	if a.Obs != nil {
+		a.Obs.SampleGenerated(s.GenTime, s, !accepted)
+	}
+}
+
+// newSample builds the next instrumentation sample, assigning its
+// sequence number.
+func (a *AppProcess) newSample() resources.Sample {
+	s := resources.Sample{GenTime: a.Sim.Now(), Node: a.Node, Proc: a.ID, Seq: a.sampleSeq}
+	a.sampleSeq++
+	a.Generated++
+	return s
 }
 
 func (a *AppProcess) maybeBarrierThenStep() {
@@ -214,8 +233,7 @@ func (a *AppProcess) sampleTick() {
 		// The pending blocked write will reschedule the timer on release.
 		return
 	}
-	s := resources.Sample{GenTime: a.Sim.Now(), Node: a.Node, Proc: a.ID}
-	a.Generated++
+	s := a.newSample()
 	accepted := a.Pipe.Put(s, func() {
 		// Space freed: the write completes and the process resumes.
 		a.blocked = false
@@ -224,6 +242,9 @@ func (a *AppProcess) sampleTick() {
 		}
 		a.Sim.Schedule(a.SamplingPeriod, a.sampleTick)
 	})
+	if a.Obs != nil {
+		a.Obs.SampleGenerated(s.GenTime, s, !accepted)
+	}
 	if accepted {
 		a.Sim.Schedule(a.SamplingPeriod, a.sampleTick)
 		return

@@ -48,6 +48,9 @@ type PdDaemon struct {
 	// everything.
 	Thinning int
 
+	// Obs, when non-nil, receives batch/forward/crash notifications.
+	Obs Observer
+
 	busy       bool
 	down       bool
 	epoch      int // bumped on Crash; stale CPU callbacks check it
@@ -100,12 +103,17 @@ func (d *PdDaemon) Crash() {
 	d.down = true
 	d.epoch++
 	d.CrashCount++
+	lost := 0
 	for _, m := range d.relayQ {
-		d.CrashLostSamples += len(m.Samples)
+		lost += len(m.Samples)
 	}
+	d.CrashLostSamples += lost
 	d.relayQ = nil
 	d.cancelFlush()
 	d.busy = false
+	if d.Obs != nil {
+		d.Obs.DaemonCrashed(d.Node, d.Sim.Now(), lost)
+	}
 }
 
 // Restore brings a crashed daemon back up; it resumes draining its pipes.
@@ -114,6 +122,9 @@ func (d *PdDaemon) Restore() {
 		return
 	}
 	d.down = false
+	if d.Obs != nil {
+		d.Obs.DaemonRestored(d.Node, d.Sim.Now())
+	}
 	d.Wake()
 }
 
@@ -277,6 +288,9 @@ func (d *PdDaemon) drain(want int) []resources.Sample {
 		d.SamplesThinned += len(out) - len(kept)
 		out = kept
 	}
+	if d.Obs != nil && len(out) > 0 {
+		d.Obs.BatchCollected(d.Node, d.Sim.Now(), len(out))
+	}
 	return out
 }
 
@@ -285,6 +299,9 @@ func (d *PdDaemon) drain(want int) []resources.Sample {
 func (d *PdDaemon) send(msg *forward.Message) {
 	d.MessagesForwarded++
 	d.SamplesForwarded += len(msg.Samples)
+	if d.Obs != nil {
+		d.Obs.MessageForwarded(d.Node, d.Sim.Now(), len(msg.Samples), msg.Hops)
+	}
 	netLen := d.Cost.MsgNet(d.R, len(msg.Samples))
 	deliver := d.Deliver
 	d.Net.Submit(OwnerPd, netLen, func() {

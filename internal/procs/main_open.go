@@ -19,6 +19,10 @@ type MainProcess struct {
 
 	CPUDist rng.Dist // per-message processing demand
 
+	// Obs, when non-nil, receives per-sample and per-message delivery
+	// notifications.
+	Obs Observer
+
 	// Latency accumulates per-sample monitoring latency in microseconds.
 	Latency stats.Accumulator
 	// ForwardLatency accumulates latency excluding batch accumulation: the
@@ -65,6 +69,9 @@ func (m *MainProcess) Receive(msg *forward.Message) {
 		if s.GenTime > newest {
 			newest = s.GenTime
 		}
+		if m.Obs != nil {
+			m.Obs.SampleDelivered(now, s, lat)
+		}
 	}
 	if len(msg.Samples) > 0 {
 		m.ForwardLatency.Add(now - newest)
@@ -72,6 +79,9 @@ func (m *MainProcess) Receive(msg *forward.Message) {
 	m.SamplesReceived += len(msg.Samples)
 	m.MessagesReceived++
 	m.HopsTotal += msg.Hops
+	if m.Obs != nil {
+		m.Obs.MessageDelivered(now, len(msg.Samples), msg.Hops)
+	}
 	m.CPU.Submit(OwnerMain, m.CPUDist.Sample(m.R), nil)
 }
 

@@ -79,3 +79,74 @@ func TestFigureCSVAndRender(t *testing.T) {
 		t.Fatal("render missing content")
 	}
 }
+
+func TestFigureZeroWindows(t *testing.T) {
+	// A timeline with no windows still renders: CSV is header-only and
+	// the table form is title + header + separator with no data rows.
+	f := NewFigure("Empty timeline", "t_us", "share", nil)
+	if err := f.Add("application", nil); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := f.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != "t_us,application\n" {
+		t.Fatalf("csv: %q", csv.String())
+	}
+	var txt strings.Builder
+	if err := f.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(txt.String()), "\n")
+	if len(lines) != 3 { // title, header, separator
+		t.Fatalf("empty figure rendered %d lines: %v", len(lines), lines)
+	}
+}
+
+func TestFigureSingleWindow(t *testing.T) {
+	f := NewFigure("One-bin timeline", "t_us", "share", []float64{500})
+	if err := f.Add("pd", []float64{0.25}); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := f.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != "t_us,pd\n500,0.25\n" {
+		t.Fatalf("csv: %q", csv.String())
+	}
+	var txt strings.Builder
+	if err := f.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "0.25000") {
+		t.Fatalf("render missing single data row:\n%s", txt.String())
+	}
+}
+
+func TestFigureManySparseWindows(t *testing.T) {
+	// Windows outnumbering the underlying records: most bins are zero,
+	// and every bin still gets its own row.
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i) * 10
+	}
+	y[0], y[63] = 1, 1
+	f := NewFigure("Sparse timeline", "t_us", "share", x)
+	if err := f.Add("app", y); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := f.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 65 { // header + 64 rows
+		t.Fatalf("got %d lines, want 65", len(lines))
+	}
+	if lines[1] != "0,1" || lines[64] != "630,1" {
+		t.Fatalf("edge rows wrong: %q / %q", lines[1], lines[64])
+	}
+}

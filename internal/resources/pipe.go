@@ -14,6 +14,20 @@ type Sample struct {
 	GenTime float64
 	// Node and Proc identify the originating application process.
 	Node, Proc int
+	// Seq is the sample's sequence number within its originating process
+	// (counted from run start, never reset), so (Node, Proc, Seq) is a
+	// stable identity for tracing a sample's path through the system.
+	Seq int
+}
+
+// PipeObserver receives pipe-level lifecycle notifications for tracing.
+// depth is the buffered-sample count after the operation; oldest marks a
+// DropOldest eviction (false for a discarded arrival).
+type PipeObserver interface {
+	PipePut(pipe int, t float64, s Sample, depth int)
+	PipeBlocked(pipe int, t float64, s Sample)
+	PipeDropped(pipe int, t float64, s Sample, oldest bool)
+	PipeGet(pipe int, t float64, s Sample, depth int)
 }
 
 // OverflowPolicy selects what a Pipe does with a Put when it is full.
@@ -66,6 +80,12 @@ type Pipe struct {
 	// clock, if set, timestamps blocked writers for wait-time accounting.
 	clock func() des.Time
 
+	// obs, if set, receives put/block/drop/get notifications; obsID
+	// identifies this pipe in them. Nil-guarded: costs one branch per
+	// operation when tracing is off.
+	obs   PipeObserver
+	obsID int
+
 	// dropped counts samples discarded for any reason (TryPut on a full
 	// pipe, DropNewest, DropOldest evictions).
 	dropped    int
@@ -101,6 +121,10 @@ func (p *Pipe) SetClock(fn func() des.Time) { p.clock = fn }
 
 // SetPolicy selects the overflow policy (default Block).
 func (p *Pipe) SetPolicy(policy OverflowPolicy) { p.policy = policy }
+
+// SetObserver attaches a lifecycle observer; id identifies this pipe in
+// the callbacks. A nil observer detaches.
+func (p *Pipe) SetObserver(id int, o PipeObserver) { p.obsID, p.obs = id, o }
 
 // Policy returns the overflow policy.
 func (p *Pipe) Policy() OverflowPolicy { return p.policy }
@@ -204,15 +228,25 @@ func (p *Pipe) Put(s Sample, onAccepted func()) bool {
 	case DropNewest:
 		p.dropped++
 		p.droppedNew++
+		if p.obs != nil {
+			p.obs.PipeDropped(p.obsID, p.now(), s, false)
+		}
 		return true
 	case DropOldest:
+		evicted := p.items[0]
 		p.items = p.items[1:]
 		p.dropped++
 		p.droppedOld++
+		if p.obs != nil {
+			p.obs.PipeDropped(p.obsID, p.now(), evicted, true)
+		}
 		p.accept(s)
 		return true
 	}
 	p.blocked = append(p.blocked, blockedPut{s: s, onAccepted: onAccepted, since: p.now()})
+	if p.obs != nil {
+		p.obs.PipeBlocked(p.obsID, p.now(), s)
+	}
 	return false
 }
 
@@ -225,12 +259,18 @@ func (p *Pipe) TryPut(s Sample) bool {
 	}
 	p.dropped++
 	p.droppedNew++
+	if p.obs != nil {
+		p.obs.PipeDropped(p.obsID, p.now(), s, false)
+	}
 	return false
 }
 
 func (p *Pipe) accept(s Sample) {
 	p.items = append(p.items, s)
 	p.puts++
+	if p.obs != nil {
+		p.obs.PipePut(p.obsID, p.now(), s, len(p.items))
+	}
 	if p.onData != nil {
 		p.onData()
 	}
@@ -245,6 +285,9 @@ func (p *Pipe) Get() (Sample, bool) {
 	}
 	s := p.items[0]
 	p.items = p.items[1:]
+	if p.obs != nil {
+		p.obs.PipeGet(p.obsID, p.now(), s, len(p.items))
+	}
 	p.admitBlocked()
 	return s, true
 }

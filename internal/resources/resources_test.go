@@ -1,6 +1,7 @@
 package resources
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -479,5 +480,88 @@ func TestOverflowPolicyStrings(t *testing.T) {
 	}
 	if OverflowPolicy(9).String() == "" {
 		t.Fatal("unknown policy should still render")
+	}
+}
+
+// pipeEvents records PipeObserver callbacks as compact strings.
+type pipeEvents struct{ got []string }
+
+func (p *pipeEvents) PipePut(pipe int, t float64, s Sample, depth int) {
+	p.got = append(p.got, fmt.Sprintf("put p%d seq%d depth%d", pipe, s.Seq, depth))
+}
+func (p *pipeEvents) PipeBlocked(pipe int, t float64, s Sample) {
+	p.got = append(p.got, fmt.Sprintf("blocked p%d seq%d", pipe, s.Seq))
+}
+func (p *pipeEvents) PipeDropped(pipe int, t float64, s Sample, oldest bool) {
+	p.got = append(p.got, fmt.Sprintf("dropped p%d seq%d oldest=%v", pipe, s.Seq, oldest))
+}
+func (p *pipeEvents) PipeGet(pipe int, t float64, s Sample, depth int) {
+	p.got = append(p.got, fmt.Sprintf("get p%d seq%d depth%d", pipe, s.Seq, depth))
+}
+
+// The pipe reports every lifecycle transition to its observer: accepted
+// puts with resulting depth, blocked writers, drops under each overflow
+// policy (flagging DropOldest evictions), and gets with remaining depth
+// — including the deferred put when a blocked writer is admitted.
+func TestPipeObserverLifecycle(t *testing.T) {
+	p := NewPipe(1)
+	obs := &pipeEvents{}
+	p.SetObserver(7, obs)
+
+	p.Put(Sample{Seq: 0}, nil)
+	p.Put(Sample{Seq: 1}, func() {}) // full: writer blocks
+	p.Get()                          // frees space; blocked sample enters
+	p.Get()
+
+	want := []string{
+		"put p7 seq0 depth1",
+		"blocked p7 seq1",
+		"get p7 seq0 depth0",
+		"put p7 seq1 depth1", // the admitted blocked writer
+		"get p7 seq1 depth0",
+	}
+	if len(obs.got) != len(want) {
+		t.Fatalf("events %v, want %v", obs.got, want)
+	}
+	for i := range want {
+		if obs.got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, obs.got[i], want[i], obs.got)
+		}
+	}
+}
+
+func TestPipeObserverDropPolicies(t *testing.T) {
+	// DropNewest: the arriving sample is reported dropped.
+	p := NewPipe(1)
+	obs := &pipeEvents{}
+	p.SetObserver(0, obs)
+	p.SetPolicy(DropNewest)
+	p.Put(Sample{Seq: 0}, nil)
+	p.Put(Sample{Seq: 1}, nil)
+	if got := obs.got[len(obs.got)-1]; got != "dropped p0 seq1 oldest=false" {
+		t.Fatalf("DropNewest reported %q", got)
+	}
+
+	// DropOldest: the evicted buffered sample is reported, then the new
+	// sample's put.
+	p = NewPipe(1)
+	obs = &pipeEvents{}
+	p.SetObserver(0, obs)
+	p.SetPolicy(DropOldest)
+	p.Put(Sample{Seq: 0}, nil)
+	p.Put(Sample{Seq: 1}, nil)
+	tail := obs.got[len(obs.got)-2:]
+	if tail[0] != "dropped p0 seq0 oldest=true" || tail[1] != "put p0 seq1 depth1" {
+		t.Fatalf("DropOldest reported %v", tail)
+	}
+
+	// TryPut on a full pipe.
+	p = NewPipe(1)
+	obs = &pipeEvents{}
+	p.SetObserver(0, obs)
+	p.TryPut(Sample{Seq: 0})
+	p.TryPut(Sample{Seq: 1})
+	if got := obs.got[len(obs.got)-1]; got != "dropped p0 seq1 oldest=false" {
+		t.Fatalf("TryPut reported %q", got)
 	}
 }

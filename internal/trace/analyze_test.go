@@ -147,3 +147,56 @@ func TestTimelineConservation(t *testing.T) {
 		}
 	}
 }
+
+func TestTimelineSingleWindow(t *testing.T) {
+	// windows=1 collapses the whole trace into one bin: the share is
+	// total class occupancy over the trace span.
+	recs := []Record{
+		{StartUS: 0, PID: 1, Process: ProcApplication, Resource: CPU, DurationUS: 60},
+		{StartUS: 100, PID: 2, Process: ProcPd, Resource: CPU, DurationUS: 100},
+	}
+	classes, shares, err := Timeline(recs, CPU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{ProcApplication: 60.0 / 200.0, ProcPd: 100.0 / 200.0}
+	for i, class := range classes {
+		if len(shares[i]) != 1 {
+			t.Fatalf("%s: %d windows, want 1", class, len(shares[i]))
+		}
+		if math.Abs(shares[i][0]-want[class]) > 1e-12 {
+			t.Errorf("%s share %v, want %v", class, shares[i][0], want[class])
+		}
+	}
+}
+
+func TestTimelineMoreWindowsThanRecords(t *testing.T) {
+	// More windows than records: sparse bins stay zero, occupied bins
+	// still conserve the total, and a burst narrower than a window fills
+	// only its fraction.
+	recs := []Record{
+		{StartUS: 0, PID: 1, Process: ProcApplication, Resource: CPU, DurationUS: 10},
+		{StartUS: 990, PID: 1, Process: ProcApplication, Resource: CPU, DurationUS: 10},
+	}
+	classes, shares, err := Timeline(recs, CPU, 100) // 10-us windows over a 1000-us span
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 || len(shares[0]) != 100 {
+		t.Fatalf("classes=%v windows=%d", classes, len(shares[0]))
+	}
+	row := shares[0]
+	if row[0] != 1 || row[99] != 1 {
+		t.Errorf("edge windows = %v / %v, want fully occupied", row[0], row[99])
+	}
+	sum := 0.0
+	for w, s := range row {
+		if w != 0 && w != 99 && s != 0 {
+			t.Errorf("window %d has share %v, want 0", w, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-2) > 1e-12 {
+		t.Errorf("total occupied windows %v, want 2", sum)
+	}
+}
