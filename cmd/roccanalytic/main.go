@@ -6,16 +6,25 @@
 //	roccanalytic -case now -nodes 8 -sp 40
 //	roccanalytic -case mpp-tree -nodes 256 -batch 32
 //	roccanalytic -case smp -nodes 16 -procs 32 -pds 2 -sweep sp -from 1 -to 64
+//	roccanalytic -case now -json -out metrics.json
+//
+// The closed form is deterministic, so the -seed and -parallel flags of
+// the simulation commands do not apply here; -json and -out are spelled
+// the same as everywhere else.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"rocc/internal/analytic"
+	"rocc/internal/cli"
 	"rocc/internal/report"
+	"rocc/internal/xval"
 )
 
 func main() {
@@ -29,8 +38,17 @@ func main() {
 		sweep = flag.String("sweep", "", "sweep a parameter: sp, nodes, batch, procs, pds")
 		from  = flag.Float64("from", 1, "sweep start")
 		to    = flag.Float64("to", 64, "sweep end (doubling steps)")
+
+		jsonOut = cli.JSON(flag.CommandLine)
+		outPath = cli.Out(flag.CommandLine)
 	)
 	flag.Parse()
+
+	out, err := cli.Output(*outPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer out.Close()
 
 	base := analytic.DefaultParams()
 	base.Nodes = *nodes
@@ -59,6 +77,14 @@ func main() {
 
 	if *sweep == "" {
 		m := eval(base)
+		if *jsonOut {
+			writeJSON(out, struct {
+				Case    string          `json:"case"`
+				Params  analytic.Params `json:"params"`
+				Metrics jsonMetrics     `json:"metrics"`
+			}{*kase, base, metricsJSON(m)})
+			return
+		}
 		t := report.NewTable(fmt.Sprintf("Operational analysis (%s)", *kase), "metric", "value")
 		t.AddRow("lambda (messages/sec/node)", report.F(base.Lambda()*1e6))
 		t.AddRow("Pd CPU utilization/node (%)", report.F(m.PdCPUUtil*100))
@@ -67,7 +93,7 @@ func main() {
 		t.AddRow("application CPU utilization/node (%)", report.F(m.AppCPUUtil*100))
 		t.AddRow("IS network utilization (%)", report.F(m.PdNetUtil*100))
 		t.AddRow("monitoring latency/sample (sec)", report.F(m.LatencyUS/1e6))
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(out); err != nil {
 			fatal("%v", err)
 		}
 		return
@@ -107,7 +133,56 @@ func main() {
 			fatal("%v", err)
 		}
 	}
-	if err := fig.Render(os.Stdout); err != nil {
+	if *jsonOut {
+		js := make(map[string][]xval.OptFloat, len(series))
+		for name, ys := range series {
+			vs := make([]xval.OptFloat, len(ys))
+			for i, y := range ys {
+				vs[i] = xval.OptFloat(y)
+			}
+			js[name] = vs
+		}
+		writeJSON(out, struct {
+			Case   string                     `json:"case"`
+			Sweep  string                     `json:"sweep"`
+			X      []float64                  `json:"x"`
+			Series map[string][]xval.OptFloat `json:"series"`
+		}{*kase, *sweep, xs, js})
+		return
+	}
+	if err := fig.Render(out); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// jsonMetrics mirrors analytic.Metrics with infinity-safe encoding: the
+// closed-form latency diverges to +Inf at saturation, which plain JSON
+// numbers cannot carry.
+type jsonMetrics struct {
+	PdCPUUtil      xval.OptFloat `json:"pd_cpu_util"`
+	ParadynCPUUtil xval.OptFloat `json:"paradyn_cpu_util"`
+	ISCPUUtil      xval.OptFloat `json:"is_cpu_util"`
+	AppCPUUtil     xval.OptFloat `json:"app_cpu_util"`
+	PdNetUtil      xval.OptFloat `json:"pd_net_util"`
+	LatencyUS      xval.OptFloat `json:"latency_us"`
+}
+
+func metricsJSON(m analytic.Metrics) jsonMetrics {
+	return jsonMetrics{
+		PdCPUUtil:      xval.OptFloat(m.PdCPUUtil),
+		ParadynCPUUtil: xval.OptFloat(m.ParadynCPUUtil),
+		ISCPUUtil:      xval.OptFloat(m.ISCPUUtil),
+		AppCPUUtil:     xval.OptFloat(m.AppCPUUtil),
+		PdNetUtil:      xval.OptFloat(m.PdNetUtil),
+		LatencyUS:      xval.OptFloat(m.LatencyUS),
+	}
+}
+
+// writeJSON emits one indented JSON document.
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		fatal("%v", err)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"rocc/internal/cli"
 	"rocc/internal/experiments"
 )
 
@@ -41,10 +42,10 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit figures as CSV")
 		plot      = flag.Bool("plot", false, "additionally render figures as ASCII charts")
 		paper     = flag.Bool("paper", false, "paper-scale options (100 s, r=50, 5 s testbed; slow)")
-		seed      = flag.Uint64("seed", 1, "master random seed")
-		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = one per core, 1 = serial)")
-		jsonOut   = flag.Bool("json", false, "measure serial vs parallel and emit a JSON perf record")
-		outPath   = flag.String("out", "", "write the -json perf record to this file (default stdout)")
+		seed      = cli.Seed(flag.CommandLine)
+		parallel  = cli.Parallel(flag.CommandLine)
+		jsonOut   = cli.JSON(flag.CommandLine)
+		outPath   = cli.Out(flag.CommandLine)
 		compare   = flag.String("compare", "", "check this -json perf record against -baseline and exit")
 		baseline  = flag.String("baseline", "", "baseline perf record for -compare")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")

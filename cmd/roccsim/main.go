@@ -6,20 +6,24 @@
 //	roccsim -arch now -nodes 8 -sp 40 -policy cf
 //	roccsim -arch mpp -nodes 256 -policy bf -batch 32 -forward tree
 //	roccsim -arch smp -nodes 16 -procs 32 -pds 2 -policy bf -batch 32
+//	roccsim -nodes 8 -reps 5 -json -out run.json  # scenario + results as JSON
 //	roccsim -nodes 8 -trace run.json            # Chrome/Perfetto trace
 //	roccsim -nodes 8 -trace run.txt             # AIX-like text trace
 //	roccsim -cpuprofile cpu.pprof -log - -loglevel debug
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
 
+	"rocc/internal/cli"
 	"rocc/internal/core"
 	"rocc/internal/forward"
 	"rocc/internal/obs"
@@ -39,14 +43,16 @@ func main() {
 		batch    = flag.Int("batch", 32, "batch size under the BF policy")
 		fwd      = flag.String("forward", "direct", "forwarding configuration: direct or tree (MPP)")
 		dur      = flag.Float64("duration", 100, "simulated seconds")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		seed     = cli.Seed(flag.CommandLine)
 		pipeCap  = flag.Int("pipe", 256, "pipe capacity in samples")
 		quantum  = flag.Float64("quantum", 10000, "CPU scheduling quantum in microseconds")
 		barrier  = flag.Float64("barrier", 0, "barrier period in milliseconds (0 = none)")
 		commApp  = flag.Bool("comm", false, "communication-intensive application type")
 		noBg     = flag.Bool("nobg", false, "disable PVM daemon and other background processes")
 		reps     = flag.Int("reps", 1, "replications (CI printed when > 1)")
-		parallel = flag.Int("parallel", 0, "replication worker pool size (0 = one per core, 1 = serial)")
+		parallel = cli.Parallel(flag.CommandLine)
+		jsonOut  = cli.JSON(flag.CommandLine)
+		outPath  = cli.Out(flag.CommandLine)
 		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
 		traceOut = flag.String("trace", "", "export the run's trace (.json = Chrome/Perfetto, else AIX-like text)")
 		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
@@ -63,7 +69,7 @@ func main() {
 	logger := openLogger(*logDest, *logLevel)
 
 	if *cfgIn != "" {
-		runFromFile(*cfgIn, *reps, *parallel)
+		runFromFile(*cfgIn, *reps, *parallel, *jsonOut, *outPath)
 		stopProf()
 		writeMemProfile(*memProf)
 		return
@@ -168,9 +174,34 @@ func main() {
 		logger.Info("run finished", "generated", res.SamplesGenerated, "delivered", res.SamplesReceived)
 	}
 
-	printResult(cfg, rep, *reps)
+	emitResult(cfg, rep, *reps, *jsonOut, *outPath)
 	stopProf()
 	writeMemProfile(*memProf)
+}
+
+// emitResult writes the run's metrics to the -out destination: a text
+// table, or with -json a machine-readable {scenario, results} record.
+func emitResult(cfg core.Config, rep core.Replicated, reps int, asJSON bool, outPath string) {
+	w, err := cli.Output(outPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(struct {
+			Scenario scenario.Spec `json:"scenario"`
+			Results  []core.Result `json:"results"`
+		}{scenario.FromConfig(cfg), rep.Results})
+	} else {
+		err = printResult(w, cfg, rep, reps)
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
 }
 
 // writeTrace exports the collected trace: Chrome trace-event JSON (loadable
@@ -276,7 +307,7 @@ func openLogger(dest, level string) *obs.Logger {
 }
 
 // printResult renders the metric table for a (possibly replicated) run.
-func printResult(cfg core.Config, rep core.Replicated, reps int) {
+func printResult(w io.Writer, cfg core.Config, rep core.Replicated, reps int) error {
 	res := rep.Results[0]
 	t := report.NewTable(fmt.Sprintf("ROCC simulation: %s, %d nodes, SP=%.1f ms, %s(batch %d), %s forwarding",
 		cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, cfg.Policy, cfg.BatchSize, cfg.Forwarding),
@@ -314,13 +345,11 @@ func printResult(cfg core.Config, rep core.Replicated, reps int) {
 	if res.BarrierReleases > 0 {
 		t.AddRow("barrier releases", fmt.Sprint(res.BarrierReleases))
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		fatal("%v", err)
-	}
+	return t.Render(w)
 }
 
 // runFromFile loads a JSON scenario, runs it, and prints the metrics.
-func runFromFile(path string, reps, parallel int) {
+func runFromFile(path string, reps, parallel int, asJSON bool, outPath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -338,7 +367,7 @@ func runFromFile(path string, reps, parallel int) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	printResult(cfg, rep, reps)
+	emitResult(cfg, rep, reps, asJSON, outPath)
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,48 @@
+// Package cli defines the flags every rocc command spells identically —
+// -json, -out, -parallel, -seed — so the tools compose predictably in
+// scripts. Each helper registers the flag with the shared name, default,
+// and doc string and returns the bound value.
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+)
+
+// JSON registers -json: machine-readable output instead of text tables.
+func JSON(fs *flag.FlagSet) *bool {
+	return fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
+}
+
+// Out registers -out: the output destination file.
+func Out(fs *flag.FlagSet) *string {
+	return fs.String("out", "", "write output to this file (default stdout)")
+}
+
+// Parallel registers -parallel: the worker-pool size shared by every
+// replication/sweep fan-out. Output is order-preserved, so results are
+// byte-identical at any setting.
+func Parallel(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "worker pool size (0 = one per core, 1 = serial); output is byte-identical at any setting")
+}
+
+// Seed registers -seed: the master random seed all model seeds derive
+// from.
+func Seed(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 1, "master random seed")
+}
+
+// nopCloser wraps stdout so Output callers can defer Close uniformly.
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// Output opens the -out destination: the named file, or stdout when the
+// path is empty.
+func Output(path string) (io.WriteCloser, error) {
+	if path == "" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}

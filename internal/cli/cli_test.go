@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSharedFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	j, o, p, s := JSON(fs), Out(fs), Parallel(fs), Seed(fs)
+	if err := fs.Parse([]string{"-json", "-out", "x.json", "-parallel", "4", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*j || *o != "x.json" || *p != 4 || *s != 7 {
+		t.Fatalf("parsed json=%v out=%q parallel=%d seed=%d", *j, *o, *p, *s)
+	}
+}
+
+func TestSharedFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	j, o, p, s := JSON(fs), Out(fs), Parallel(fs), Seed(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *j || *o != "" || *p != 0 || *s != 1 {
+		t.Fatalf("defaults json=%v out=%q parallel=%d seed=%d", *j, *o, *p, *s)
+	}
+}
+
+func TestOutput(t *testing.T) {
+	w, err := Output("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != (nopCloser{os.Stdout}) {
+		t.Error("empty path must yield stdout")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("stdout close: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := Output(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "x" {
+		t.Errorf("file content %q", b)
+	}
+}

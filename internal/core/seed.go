@@ -13,6 +13,9 @@ const (
 	SeedStreamFactorial
 	// SeedStreamFault derives per-intensity fault-plan seeds.
 	SeedStreamFault
+	// SeedStreamCrossVal derives per-cell base seeds of a cross-validation
+	// grid run (internal/xval).
+	SeedStreamCrossVal
 )
 
 // mixSeed is the SplitMix64 output finalizer: a bijective avalanche over

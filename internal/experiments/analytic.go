@@ -5,6 +5,7 @@ import (
 
 	"rocc/internal/analytic"
 	"rocc/internal/report"
+	"rocc/internal/scenario"
 )
 
 func init() {
@@ -60,7 +61,7 @@ type analyticVariant = struct {
 func runFig9(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	// (a) vary nodes at 40 ms sampling.
-	nodes := []float64{2, 4, 8, 16, 24, 32}
+	nodes := scenario.AnalyticNodeAxis()
 	mkNodes := func(batch float64) func(float64) analytic.Metrics {
 		return func(n float64) analytic.Metrics {
 			p := analytic.DefaultParams()
@@ -77,7 +78,7 @@ func runFig9(w io.Writer, opt Options) error {
 		return err
 	}
 	// (b) vary sampling period at 8 nodes.
-	sps := []float64{1, 2, 4, 8, 16, 32, 64} // msec
+	sps := scenario.SamplingPeriodAxisMS() // msec
 	mkSP := func(batch float64) func(float64) analytic.Metrics {
 		return func(sp float64) analytic.Metrics {
 			p := analytic.DefaultParams()
@@ -95,7 +96,7 @@ func runFig9(w io.Writer, opt Options) error {
 
 func runFig10(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	batches := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	batches := scenario.BatchAxis()
 	mk := func(spMS float64) func(float64) analytic.Metrics {
 		return func(b float64) analytic.Metrics {
 			p := analytic.DefaultParams()
@@ -141,7 +142,7 @@ func smpName(pds int) string {
 
 func runFig12(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	sps := []float64{1, 2, 5, 10, 20, 40, 64}
+	sps := scenario.SMPSamplingPeriodAxisMS()
 	bySP := func(p *analytic.Params, sp float64) { p.SamplingPeriod = sp * 1000 }
 	if err := analyticSweep(w, opt, "Figure 12(a): SMP, CF policy", "sampling_period_ms", sps,
 		smpVariants(1, bySP)); err != nil {
@@ -165,7 +166,7 @@ func runFig13(w io.Writer, opt Options) error {
 
 func runFig14(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	sps := []float64{1, 2, 4, 8, 16, 32, 64}
+	sps := scenario.SamplingPeriodAxisMS()
 	mk := func(tree bool) func(float64) analytic.Metrics {
 		return func(sp float64) analytic.Metrics {
 			p := analytic.DefaultParams()
@@ -187,7 +188,7 @@ func runFig14(w io.Writer, opt Options) error {
 
 func runFig15(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	nodes := []float64{2, 4, 8, 16, 32, 64, 128, 256}
+	nodes := scenario.MPPNodeAxis()
 	mk := func(tree bool) func(float64) analytic.Metrics {
 		return func(n float64) analytic.Metrics {
 			p := analytic.DefaultParams()

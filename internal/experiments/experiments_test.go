@@ -30,6 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table6", "fig25", "fig26", "fig27", "fig28",
 		"fig30", "table7", "fig31", "table8",
 		"ext-adaptive", "ext-consultant", "ext-cluster", "ext-tracing", "ext-phases",
+		"ext-crossval",
 		"ablation-pipecap", "ablation-quantum", "ablation-eventqueue",
 		"ablation-netcontention", "ablation-fitting", "ablation-detailed",
 		"fault-survivability",

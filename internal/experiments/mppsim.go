@@ -1,12 +1,12 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"rocc/internal/core"
 	"rocc/internal/forward"
 	"rocc/internal/report"
+	"rocc/internal/scenario"
 )
 
 func init() {
@@ -17,39 +17,21 @@ func init() {
 	register("fig28", "MPP: effect of barrier-operation frequency (256 nodes)", runFig28)
 }
 
-// mppFactorialRows builds the Table 6 design: A = nodes (2/256),
-// B = sampling period (5/50 ms), C = policy (batch 1/128), D = network
-// configuration (direct/tree).
-func mppFactorialRows() ([]string, []factorialRow) {
-	factors := []string{"nodes", "sampling period", "forwarding policy", "network configuration"}
-	levels := [][2]float64{{2, 256}, {5000, 50000}, {1, 128}, {0, 1}}
-	var rows []factorialRow
-	for i := 0; i < 16; i++ {
-		pick := func(f int) float64 { return levels[f][i>>f&1] }
-		cfg := core.DefaultConfig()
-		cfg.Arch = core.MPP
-		cfg.Nodes = int(pick(0))
-		cfg.SamplingPeriod = pick(1)
-		if pick(2) > 1 {
-			cfg.Policy = forward.BF
-			cfg.BatchSize = int(pick(2))
-		}
-		fwd := forward.Direct
-		if pick(3) > 0 {
-			fwd = forward.Tree
-		}
-		cfg.Forwarding = fwd
-		rows = append(rows, factorialRow{
-			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, fwd),
-			cfg:   cfg,
-		})
-	}
-	return factors, rows
+// mppFactorialRows materializes the Table 6 design from the shared
+// scenario grid (A = nodes, B = sampling period, C = policy, D = network
+// configuration).
+func mppFactorialRows() ([]string, []factorialRow, error) {
+	g := scenario.Table6Grid()
+	rows, err := gridRows(g)
+	return g.Factors, rows, err
 }
 
 func runTable6(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	_, rows := mppFactorialRows()
+	_, rows, err := mppFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -68,7 +50,10 @@ func runTable6(w io.Writer, opt Options) error {
 
 func runFig25(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	factors, rows := mppFactorialRows()
+	factors, rows, err := mppFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -105,7 +90,7 @@ func mppVariants(nodes int, modify func(cfg *core.Config, x float64)) []simVaria
 func runFig26(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	return simSweep(w, opt, "Figure 26: MPP, 256 nodes, BF", "sampling_period_ms",
-		[]float64{1, 2, 4, 8, 16, 32, 64},
+		scenario.SamplingPeriodAxisMS(),
 		mppVariants(256, func(cfg *core.Config, x float64) {
 			if cfg.SamplingPeriod > 0 {
 				cfg.SamplingPeriod = x * 1000
@@ -116,7 +101,7 @@ func runFig26(w io.Writer, opt Options) error {
 func runFig27(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	return simSweep(w, opt, "Figure 27: MPP, SP = 40 ms, BF", "nodes",
-		[]float64{2, 4, 8, 16, 32, 64, 128, 256},
+		scenario.MPPNodeAxis(),
 		mppVariants(0, func(cfg *core.Config, x float64) { cfg.Nodes = int(x) }))
 }
 

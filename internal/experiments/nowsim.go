@@ -1,12 +1,12 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"rocc/internal/core"
 	"rocc/internal/forward"
 	"rocc/internal/report"
+	"rocc/internal/scenario"
 	"rocc/internal/stats"
 )
 
@@ -18,39 +18,22 @@ func init() {
 	register("fig19", "NOW: batch-size sweep (knee of the latency curve)", runFig19)
 }
 
-// nowFactorialRows builds the Table 4 design in doe standard order:
-// factor A = number of nodes (5/50), B = sampling period (2/32 ms),
-// C = forwarding policy (batch 1/128), D = application type.
-func nowFactorialRows() ([]string, []factorialRow) {
-	factors := []string{"nodes", "sampling period", "forwarding policy", "application type"}
-	levels := [][2]float64{{5, 50}, {2000, 32000}, {1, 128}, {0, 1}}
-	var rows []factorialRow
-	for i := 0; i < 16; i++ {
-		pick := func(f int) float64 { return levels[f][i>>f&1] }
-		cfg := core.DefaultConfig()
-		cfg.Arch = core.NOW
-		cfg.Nodes = int(pick(0))
-		cfg.SamplingPeriod = pick(1)
-		if pick(2) > 1 {
-			cfg.Policy = forward.BF
-			cfg.BatchSize = int(pick(2))
-		}
-		app := core.ComputeIntensive
-		if pick(3) > 0 {
-			app = core.CommIntensive
-		}
-		cfg.Workload = app.Apply(core.DefaultWorkload())
-		rows = append(rows, factorialRow{
-			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, app),
-			cfg:   cfg,
-		})
-	}
-	return factors, rows
+// nowFactorialRows materializes the Table 4 design (doe standard order)
+// from the shared scenario grid, so the factorial table, the figure-16
+// allocation, and the cross-validation dashboard all run the exact same
+// operating points.
+func nowFactorialRows() ([]string, []factorialRow, error) {
+	g := scenario.Table4Grid()
+	rows, err := gridRows(g)
+	return g.Factors, rows, err
 }
 
 func runTable4(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	_, rows := nowFactorialRows()
+	_, rows, err := nowFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -80,7 +63,10 @@ func ciOf(xs []float64) stats.ConfidenceInterval {
 
 func runFig16(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	factors, rows := nowFactorialRows()
+	factors, rows, err := nowFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -119,9 +105,9 @@ func runFig17(w io.Writer, opt Options) error {
 		vs     []simVariant
 	}{
 		{"Figure 17(a): 8 application processes", "sampling_period_ms",
-			[]float64{5, 10, 20, 30, 40, 50}, localVariants(8, 0)},
+			scenario.LocalSamplingPeriodAxisMS(), localVariants(8, 0)},
 		{"Figure 17(b): sampling period = 40 ms", "app_processes",
-			[]float64{1, 2, 4, 8, 16, 32}, localVariants(-1, 40000)},
+			scenario.AppProcsAxis(), localVariants(-1, 40000)},
 	}
 	metrics := []struct {
 		name string
@@ -182,12 +168,12 @@ func nowGlobalVariants(modify func(cfg *core.Config, x float64)) []simVariant {
 func runFig18(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	if err := simSweep(w, opt, "Figure 18(a): sampling period = 40 ms", "nodes",
-		[]float64{2, 4, 8, 16, 32},
+		scenario.NodeAxis(),
 		nowGlobalVariants(func(cfg *core.Config, x float64) { cfg.Nodes = int(x) })); err != nil {
 		return err
 	}
 	return simSweep(w, opt, "Figure 18(b): number of nodes = 8", "sampling_period_ms",
-		[]float64{1, 2, 4, 8, 16, 32, 64},
+		scenario.SamplingPeriodAxisMS(),
 		nowGlobalVariants(func(cfg *core.Config, x float64) {
 			if cfg.SamplingPeriod > 0 {
 				cfg.SamplingPeriod = x * 1000
@@ -197,7 +183,7 @@ func runFig18(w io.Writer, opt Options) error {
 
 func runFig19(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	batches := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	batches := scenario.BatchAxis()
 	mk := func(spMS float64) func(float64) core.Config {
 		return func(b float64) core.Config {
 			cfg := core.DefaultConfig()

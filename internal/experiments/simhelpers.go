@@ -8,6 +8,7 @@ import (
 	"rocc/internal/doe"
 	"rocc/internal/par"
 	"rocc/internal/report"
+	"rocc/internal/scenario"
 )
 
 // simMetrics are the four panels of the simulation figures (18, 19, 22-24,
@@ -101,6 +102,20 @@ func simSweep(w io.Writer, opt Options, title, xlabel string, xs []float64, vari
 type factorialRow struct {
 	label string
 	cfg   core.Config
+}
+
+// gridRows materializes a scenario grid's cells as factorial rows, in
+// grid order (which fixes the SeedStreamFactorial row indices).
+func gridRows(g scenario.Grid) ([]factorialRow, error) {
+	rows := make([]factorialRow, 0, len(g.Cells))
+	for _, cell := range g.Cells {
+		cfg, err := cell.Spec.Config()
+		if err != nil {
+			return nil, fmt.Errorf("grid %s cell %s: %w", g.Name, cell.ID, err)
+		}
+		rows = append(rows, factorialRow{label: cell.Label, cfg: cfg})
+	}
+	return rows, nil
 }
 
 // runFactorial executes the 2^k·r design and returns, per row, the

@@ -1,12 +1,12 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"rocc/internal/core"
 	"rocc/internal/forward"
 	"rocc/internal/report"
+	"rocc/internal/scenario"
 )
 
 func init() {
@@ -18,40 +18,21 @@ func init() {
 	register("fig24", "SMP: four metrics over number of application processes, 1-4 daemons", runFig24)
 }
 
-// smpFactorialRows builds the Table 5 design: A = nodes (= app processes,
-// 5/50), B = sampling period (1/32 ms), C = policy (batch 1/128), D = app
-// type.
-func smpFactorialRows() ([]string, []factorialRow) {
-	factors := []string{"nodes", "sampling period", "forwarding policy", "application type"}
-	levels := [][2]float64{{5, 50}, {1000, 32000}, {1, 128}, {0, 1}}
-	var rows []factorialRow
-	for i := 0; i < 16; i++ {
-		pick := func(f int) float64 { return levels[f][i>>f&1] }
-		cfg := core.DefaultConfig()
-		cfg.Arch = core.SMP
-		cfg.Nodes = int(pick(0))
-		cfg.AppProcs = cfg.Nodes // paper: #app processes = #nodes
-		cfg.SamplingPeriod = pick(1)
-		if pick(2) > 1 {
-			cfg.Policy = forward.BF
-			cfg.BatchSize = int(pick(2))
-		}
-		app := core.ComputeIntensive
-		if pick(3) > 0 {
-			app = core.CommIntensive
-		}
-		cfg.Workload = app.Apply(core.DefaultWorkload())
-		rows = append(rows, factorialRow{
-			label: fmt.Sprintf("n=%d sp=%.0fms b=%d %s", cfg.Nodes, cfg.SamplingPeriod/1000, cfg.BatchSize, app),
-			cfg:   cfg,
-		})
-	}
-	return factors, rows
+// smpFactorialRows materializes the Table 5 design from the shared
+// scenario grid (A = nodes = app processes, B = sampling period,
+// C = policy, D = app type).
+func smpFactorialRows() ([]string, []factorialRow, error) {
+	g := scenario.Table5Grid()
+	rows, err := gridRows(g)
+	return g.Factors, rows, err
 }
 
 func runTable5(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	_, rows := smpFactorialRows()
+	_, rows, err := smpFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -70,7 +51,10 @@ func runTable5(w io.Writer, opt Options) error {
 
 func runFig20(w io.Writer, opt Options) error {
 	opt = opt.normalized()
-	factors, rows := smpFactorialRows()
+	factors, rows, err := smpFactorialRows()
+	if err != nil {
+		return err
+	}
 	ov, lat, err := runFactorial(rows, opt, core.MetricPdCPUTime, core.MetricLatency)
 	if err != nil {
 		return err
@@ -189,14 +173,14 @@ func smpPanelPair(w io.Writer, opt Options, figName, xlabel string, xs []float64
 func runFig22(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	return smpPanelPair(w, opt, "Figure 22", "nodes",
-		[]float64{2, 4, 8, 16, 32},
+		scenario.NodeAxis(),
 		func(cfg *core.Config, x float64) { cfg.Nodes = int(x) })
 }
 
 func runFig23(w io.Writer, opt Options) error {
 	opt = opt.normalized()
 	return smpPanelPair(w, opt, "Figure 23", "sampling_period_ms",
-		[]float64{1, 2, 5, 10, 20, 40, 64},
+		scenario.SMPSamplingPeriodAxisMS(),
 		func(cfg *core.Config, x float64) {
 			if cfg.SamplingPeriod > 0 {
 				cfg.SamplingPeriod = x * 1000

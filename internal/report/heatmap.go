@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// heatRamp is the intensity ramp, lowest to highest: '.' is zero or
+// effectively zero, '@' the hottest finite cell. (Space is reserved for
+// "no data", '!' for diverged.)
+const heatRamp = ".:-=+*#%@"
+
+// Heatmap renders a dense numeric matrix as an ASCII intensity grid —
+// the cross-validation dashboard uses it for the relative-error surface
+// (rows: grid cells, columns: metrics). NaN cells render as blank,
+// infinite cells as '!'.
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	// Values is row-major: Values[r][c] pairs with RowLabels[r] and
+	// ColLabels[c].
+	Values [][]float64
+	// Max anchors the top of the ramp; 0 means auto (the maximum finite
+	// value present).
+	Max float64
+}
+
+// cellRune maps one value onto the ramp.
+func (h *Heatmap) cellRune(v, max float64) byte {
+	switch {
+	case math.IsNaN(v):
+		return ' '
+	case math.IsInf(v, 0):
+		return '!'
+	case max <= 0 || v <= 0:
+		return heatRamp[0]
+	}
+	idx := int(v / max * float64(len(heatRamp)-1))
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return heatRamp[idx]
+}
+
+// Render writes the heatmap: a numbered-column legend, one character per
+// cell, and a ramp legend giving the value scale.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) != len(h.RowLabels) {
+		return fmt.Errorf("report: heatmap has %d rows of values, %d row labels",
+			len(h.Values), len(h.RowLabels))
+	}
+	max := h.Max
+	if max <= 0 {
+		for _, row := range h.Values {
+			for _, v := range row {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+					max = v
+				}
+			}
+		}
+	}
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", h.Title); err != nil {
+			return err
+		}
+	}
+	rowWidth := 0
+	for _, l := range h.RowLabels {
+		if len(l) > rowWidth {
+			rowWidth = len(l)
+		}
+	}
+	// Column header: column numbers 1..n, one character wide each (mod 10
+	// keeps wide maps aligned), with the legend mapping numbers to labels.
+	var head strings.Builder
+	head.WriteString(strings.Repeat(" ", rowWidth))
+	head.WriteString("  ")
+	for c := range h.ColLabels {
+		head.WriteByte(byte('1' + (c % 9)))
+	}
+	if _, err := fmt.Fprintln(w, head.String()); err != nil {
+		return err
+	}
+	for r, row := range h.Values {
+		var b strings.Builder
+		b.WriteString(h.RowLabels[r])
+		b.WriteString(strings.Repeat(" ", rowWidth-len(h.RowLabels[r])))
+		b.WriteString("  ")
+		for c := range h.ColLabels {
+			v := math.NaN()
+			if c < len(row) {
+				v = row[c]
+			}
+			b.WriteByte(h.cellRune(v, max))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	for c, l := range h.ColLabels {
+		if _, err := fmt.Fprintf(w, "  col %d: %s\n", c+1, l); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  scale: '%s' = 0 .. %s, '!' = diverged, ' ' = no data\n",
+		string(heatRamp[0]), F(max)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:     "test surface",
+		RowLabels: []string{"row-a", "b"},
+		ColLabels: []string{"m1", "m2", "m3"},
+		Values: [][]float64{
+			{0, 0.5, 1.0},
+			{math.NaN(), math.Inf(1), 0.25},
+		},
+	}
+	out := h.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "== test surface ==" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Row lines: padded label, two spaces, one rune per column.
+	if got, want := lines[2], "row-a  .+@"; got != want {
+		t.Errorf("row 1 = %q, want %q", got, want)
+	}
+	if got, want := lines[3], "b"+strings.Repeat(" ", 7)+"!-"; got != want {
+		t.Errorf("row 2 = %q, want %q", got, want)
+	}
+	for _, want := range []string{"col 1: m1", "col 3: m3", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapRowMismatch(t *testing.T) {
+	h := &Heatmap{RowLabels: []string{"a"}, Values: nil}
+	if err := h.Render(&strings.Builder{}); err == nil {
+		t.Fatal("mismatched rows must error")
+	}
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func grids() []Grid {
+	return []Grid{PaperGrid(), SmokeGrid(), FullGrid(), Table4Grid(), Table5Grid(), Table6Grid()}
+}
+
+// Every grid constructor must be deterministic: two calls produce
+// identical grids (the cell index seeds the per-cell RNG streams).
+func TestGridConstructorsDeterministic(t *testing.T) {
+	a, b := grids(), grids()
+	for i := range a {
+		if len(a[i].Cells) != len(b[i].Cells) {
+			t.Fatalf("grid %s: %d vs %d cells", a[i].Name, len(a[i].Cells), len(b[i].Cells))
+		}
+		for j := range a[i].Cells {
+			if !reflect.DeepEqual(a[i].Cells[j], b[i].Cells[j]) {
+				t.Fatalf("grid %s cell %d differs between constructions", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestGridCellsValidateAndHaveUniqueIDs(t *testing.T) {
+	for _, g := range grids() {
+		seen := map[string]bool{}
+		for _, c := range g.Cells {
+			if seen[c.ID] {
+				t.Errorf("grid %s: duplicate cell id %s", g.Name, c.ID)
+			}
+			seen[c.ID] = true
+			if _, err := c.Spec.Config(); err != nil {
+				t.Errorf("grid %s cell %s: %v", g.Name, c.ID, err)
+			}
+		}
+	}
+}
+
+// Property: every PaperGrid cell round-trips through Save/Load
+// byte-identically — the JSON form is a faithful, stable encoding of the
+// operating point.
+func TestPaperGridRoundTripsByteIdentical(t *testing.T) {
+	for _, c := range FullGrid().Cells {
+		var first bytes.Buffer
+		if err := Save(&first, c.Spec); err != nil {
+			t.Fatalf("%s: save: %v", c.ID, err)
+		}
+		loaded, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", c.ID, err)
+		}
+		var second bytes.Buffer
+		if err := Save(&second, loaded); err != nil {
+			t.Fatalf("%s: re-save: %v", c.ID, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: save→load→save not byte-identical:\n%s\nvs\n%s",
+				c.ID, first.String(), second.String())
+		}
+	}
+}
+
+func TestGridSizes(t *testing.T) {
+	for _, tc := range []struct {
+		g    Grid
+		want int
+	}{
+		{PaperGrid(), 90},
+		{SmokeGrid(), 18},
+		{FullGrid(), 122},
+		{Table4Grid(), 16},
+		{Table5Grid(), 16},
+		{Table6Grid(), 16},
+	} {
+		if len(tc.g.Cells) != tc.want {
+			t.Errorf("grid %s: %d cells, want %d", tc.g.Name, len(tc.g.Cells), tc.want)
+		}
+	}
+}

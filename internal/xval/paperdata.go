@@ -1,0 +1,93 @@
+package xval
+
+import (
+	"math"
+
+	"rocc/internal/core"
+	"rocc/internal/scenario"
+)
+
+// paperPoint holds the paper's values for one operating point, in the
+// Estimates units (percent, microseconds). NaN marks a metric the paper
+// does not report for that point.
+//
+// Provenance, recorded per entry in Source:
+//
+//   - "eqs (1)-(16)" entries are the operating-point predictions the
+//     paper's analytic curves (Figures 9-15) and validation discussion are
+//     drawn from, reconstructed exactly from the printed equations with
+//     the Table 2 parameters and frozen here as literals by
+//     tools/genpaperdata. Freezing them decouples the dashboard's "paper"
+//     column from internal/analytic: if the solver drifts, the golden
+//     tests catch it against these published-formula values.
+//   - "Table 3 (measured)" fields are the genuinely measured utilizations
+//     of the paper's validation run (100 s, 1 node, CF, 40 ms sampling:
+//     application 85.71%, daemon 0.74% of a CPU) and overlay the
+//     reconstructed entry for that cell.
+type paperPoint struct {
+	PdCPUUtilPct   float64
+	MainCPUUtilPct float64
+	AppCPUUtilPct  float64
+	PdNetUtilPct   float64
+	LatencyMeanUS  float64
+	Source         string
+}
+
+// nan marks a metric the paper does not report; inf a saturated queue
+// (residence time diverges at utilization 1 in the closed forms).
+var (
+	nan = math.NaN()
+	inf = math.Inf(1)
+)
+
+func init() {
+	// Overlay the measured anchors on the reconstructed predictions:
+	// measured fields win, everything else keeps the printed-equation
+	// value.
+	for key, m := range paperMeasured() {
+		p, ok := paperPoints[key]
+		if !ok {
+			p = paperPoint{PdCPUUtilPct: nan, MainCPUUtilPct: nan,
+				AppCPUUtilPct: nan, PdNetUtilPct: nan, LatencyMeanUS: nan}
+		}
+		override := func(dst *float64, v float64) {
+			if !math.IsNaN(v) {
+				*dst = v
+			}
+		}
+		override(&p.PdCPUUtilPct, m.PdCPUUtilPct)
+		override(&p.MainCPUUtilPct, m.MainCPUUtilPct)
+		override(&p.AppCPUUtilPct, m.AppCPUUtilPct)
+		override(&p.PdNetUtilPct, m.PdNetUtilPct)
+		override(&p.LatencyMeanUS, m.LatencyMeanUS)
+		if p.Source != "" {
+			p.Source = m.Source + "; otherwise " + p.Source
+		} else {
+			p.Source = m.Source
+		}
+		paperPoints[key] = p
+	}
+}
+
+// paperMeasured returns the measured values of Table 3 keyed like
+// paperPoints: the single-node validation run the paper uses to
+// corroborate the model (application 85.71 s and daemon 0.74 s of CPU
+// time per 100 s run — i.e. 85.71% and 0.74% utilization).
+func paperMeasured() map[string]paperPoint {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 1
+	key, err := Key(scenario.FromConfig(cfg))
+	if err != nil {
+		panic("xval: table3 key: " + err.Error())
+	}
+	return map[string]paperPoint{
+		key: {
+			PdCPUUtilPct:   0.74,
+			AppCPUUtilPct:  85.71,
+			MainCPUUtilPct: nan,
+			PdNetUtilPct:   nan,
+			LatencyMeanUS:  nan,
+			Source:         "Table 3 (measured)",
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package xval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"rocc/internal/report"
+)
+
+// optF formats an OptFloat for the text tables: "-" when missing.
+func optF(o OptFloat) string {
+	if o.IsMissing() {
+		return "-"
+	}
+	return report.F(float64(o))
+}
+
+// coveredStr renders a CI-coverage verdict.
+func coveredStr(c *bool) string {
+	switch {
+	case c == nil:
+		return "-"
+	case *c:
+		return "in"
+	}
+	return "OUT"
+}
+
+// comparedBackends returns the non-reference backend names in report
+// order.
+func (r *Report) comparedBackends() []string {
+	var out []string
+	for _, b := range r.Backends {
+		if b != r.Reference {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// RenderText writes the full dashboard: per-group detail tables covering
+// every cell and metric, the relative-error heatmap, the per-group
+// summaries, and the per-architecture/policy worst-case table.
+func (r *Report) RenderText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"ROCC cross-validation: grid=%s reference=%s seed=%d duration=%gs reps=%d ci=%g%%\n\n",
+		r.Grid, r.Reference, r.Seed, r.DurationSec, r.Reps, r.CILevel*100); err != nil {
+		return err
+	}
+
+	others := r.comparedBackends()
+	cols := []string{"cell", "metric", r.Reference, "±CI"}
+	for _, b := range others {
+		cols = append(cols, b, "err", "ci?")
+	}
+	group := ""
+	var t *report.Table
+	flush := func() error {
+		if t == nil {
+			return nil
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	for _, cell := range r.Cells {
+		if cell.Group != group {
+			if err := flush(); err != nil {
+				return err
+			}
+			group = cell.Group
+			t = report.NewTable("group "+group, cols...)
+		}
+		label := fmt.Sprintf("%s (%s)", cell.ID, cell.Label)
+		for _, mc := range cell.Metrics {
+			row := []string{label, mc.Metric, optF(mc.Reference), optF(mc.HalfWidth)}
+			label = "" // only on the first metric row of the cell
+			for _, bc := range mc.Backends {
+				errStr := optF(bc.RelError)
+				if bc.Diverged {
+					errStr = "DIVERGED"
+				}
+				row = append(row, optF(bc.Value), errStr, coveredStr(bc.CICovered))
+			}
+			t.AddRow(row...)
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	for _, b := range others {
+		if err := r.heatmap(b).Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+
+	if err := renderSummaries(w, "summary by grid group (vs "+r.Reference+")",
+		"group", r.GroupSummaries); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return renderSummaries(w, "worst-case divergence by architecture/policy",
+		"arch/policy", r.ArchPolicySummaries)
+}
+
+// heatmap builds the relative-error surface of one backend vs the
+// reference: rows are grid cells, columns the compared metrics; diverged
+// cells are +Inf ('!'), incomparable cells NaN (blank).
+func (r *Report) heatmap(backend string) *report.Heatmap {
+	h := &report.Heatmap{
+		Title:     fmt.Sprintf("relative error heatmap: %s vs %s", backend, r.Reference),
+		ColLabels: MetricNames,
+	}
+	for _, cell := range r.Cells {
+		row := make([]float64, 0, len(cell.Metrics))
+		for _, mc := range cell.Metrics {
+			v := math.NaN()
+			for _, bc := range mc.Backends {
+				if bc.Backend != backend {
+					continue
+				}
+				if bc.Diverged {
+					v = math.Inf(1)
+				} else {
+					v = float64(bc.RelError)
+				}
+			}
+			row = append(row, v)
+		}
+		h.RowLabels = append(h.RowLabels, cell.ID)
+		h.Values = append(h.Values, row)
+	}
+	return h
+}
+
+func renderSummaries(w io.Writer, title, scopeCol string, sums []Summary) error {
+	t := report.NewTable(title, scopeCol, "backend", "metric", "cells", "compared",
+		"mean err", "max err", "worst cell", "ci cover", "diverged", "missing")
+	for _, s := range sums {
+		cover := "-"
+		if s.CIEligible > 0 {
+			cover = fmt.Sprintf("%d/%d", s.CICovered, s.CIEligible)
+		}
+		t.AddRow(s.Scope, s.Backend, s.Metric,
+			fmt.Sprint(s.Cells), fmt.Sprint(s.Compared),
+			optF(s.MeanRelErr), optF(s.MaxRelErr), s.WorstCell,
+			cover, fmt.Sprint(s.Diverged), fmt.Sprint(s.MissingData))
+	}
+	return t.Render(w)
+}
+
+// WriteJSON writes the report as indented, deterministic JSON (struct
+// field order; OptFloat encodes missing as null and infinities as
+// "+inf"/"-inf").
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,381 @@
+// Package xval cross-validates the repo's three evaluation routes — the
+// closed-form operational analysis of Section 3 (equations (1)-(16)), the
+// discrete-event ROCC simulation of Section 4, and the values published in
+// the paper — over a shared scenario grid, and renders the disagreement as
+// an error surface: per-metric relative error, CI coverage (does the
+// analytic prediction fall inside the simulation confidence interval?),
+// and worst-case divergence per architecture/policy cell. This turns the
+// paper's Section 4 validation argument into a single regenerable,
+// CI-gated artifact.
+//
+// Every backend is accessed only through the Evaluator interface, so
+// future routes (the measured testbed, MVA bounds) drop in without
+// touching the dashboard.
+package xval
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"rocc/internal/analytic"
+	"rocc/internal/core"
+	"rocc/internal/forward"
+	"rocc/internal/par"
+	"rocc/internal/scenario"
+	"rocc/internal/stats"
+)
+
+// usPerSec is the single, explicit latency unit conversion: core.Result
+// reports latencies in seconds, analytic.Metrics in microseconds, and the
+// paper's figures in milliseconds-to-seconds depending on the panel.
+// Estimates normalizes everything to microseconds.
+const usPerSec = 1e6
+
+// OptFloat is a float64 metric value that may be missing (NaN: the
+// backend does not report this metric) or diverged (±Inf: the analytic
+// queue is at or beyond saturation). It marshals missing values as JSON
+// null and infinities as the strings "+inf"/"-inf", since JSON numbers
+// cannot encode either.
+type OptFloat float64
+
+// Missing returns the missing-value marker.
+func Missing() OptFloat { return OptFloat(math.NaN()) }
+
+// IsMissing reports whether the value is absent.
+func (o OptFloat) IsMissing() bool { return math.IsNaN(float64(o)) }
+
+// Finite reports whether the value is present and finite.
+func (o OptFloat) Finite() bool {
+	f := float64(o)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// V returns the raw float64 (NaN when missing).
+func (o OptFloat) V() float64 { return float64(o) }
+
+// MarshalJSON implements json.Marshaler.
+func (o OptFloat) MarshalJSON() ([]byte, error) {
+	f := float64(o)
+	switch {
+	case math.IsNaN(f):
+		return []byte("null"), nil
+	case math.IsInf(f, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-inf"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting the MarshalJSON
+// encodings.
+func (o *OptFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case "null":
+		*o = Missing()
+		return nil
+	case `"+inf"`:
+		*o = OptFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*o = OptFloat(math.Inf(-1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*o = OptFloat(f)
+	return nil
+}
+
+// Estimates is the common output schema every evaluation backend maps
+// onto: per-class CPU and network utilizations as percentages, sample
+// latencies in microseconds. Metrics a backend cannot produce are Missing.
+// The HW fields are confidence-interval half-widths (simulation only;
+// closed forms and published point values carry no interval).
+type Estimates struct {
+	PdCPUUtilPct   OptFloat `json:"pd_cpu_util_pct"`   // daemon CPU / node
+	MainCPUUtilPct OptFloat `json:"main_cpu_util_pct"` // main Paradyn process CPU
+	AppCPUUtilPct  OptFloat `json:"app_cpu_util_pct"`  // application CPU / node
+	PdNetUtilPct   OptFloat `json:"pd_net_util_pct"`   // IS network traffic
+	LatencyMeanUS  OptFloat `json:"latency_mean_us"`   // monitoring latency / sample
+	LatencyP50US   OptFloat `json:"latency_p50_us"`
+	LatencyP99US   OptFloat `json:"latency_p99_us"`
+
+	PdCPUUtilHW   OptFloat `json:"pd_cpu_util_hw"`
+	MainCPUUtilHW OptFloat `json:"main_cpu_util_hw"`
+	AppCPUUtilHW  OptFloat `json:"app_cpu_util_hw"`
+	PdNetUtilHW   OptFloat `json:"pd_net_util_hw"`
+	LatencyMeanHW OptFloat `json:"latency_mean_hw"`
+}
+
+// emptyEstimates returns an Estimates with every field Missing.
+func emptyEstimates() Estimates {
+	m := Missing()
+	return Estimates{
+		PdCPUUtilPct: m, MainCPUUtilPct: m, AppCPUUtilPct: m, PdNetUtilPct: m,
+		LatencyMeanUS: m, LatencyP50US: m, LatencyP99US: m,
+		PdCPUUtilHW: m, MainCPUUtilHW: m, AppCPUUtilHW: m, PdNetUtilHW: m,
+		LatencyMeanHW: m,
+	}
+}
+
+// MetricNames enumerates the cross-validated metrics in render order.
+// (P50/P99 latency appear in Estimates but are not compared: only the
+// simulation backend can produce them.)
+var MetricNames = []string{
+	"pd_cpu_util_pct",
+	"main_cpu_util_pct",
+	"app_cpu_util_pct",
+	"pd_net_util_pct",
+	"latency_mean_us",
+}
+
+// Metric returns the named metric value (Missing for unknown names).
+func (e Estimates) Metric(name string) OptFloat {
+	switch name {
+	case "pd_cpu_util_pct":
+		return e.PdCPUUtilPct
+	case "main_cpu_util_pct":
+		return e.MainCPUUtilPct
+	case "app_cpu_util_pct":
+		return e.AppCPUUtilPct
+	case "pd_net_util_pct":
+		return e.PdNetUtilPct
+	case "latency_mean_us":
+		return e.LatencyMeanUS
+	case "latency_p50_us":
+		return e.LatencyP50US
+	case "latency_p99_us":
+		return e.LatencyP99US
+	}
+	return Missing()
+}
+
+// HalfWidth returns the named metric's CI half-width (Missing when the
+// backend carries no interval).
+func (e Estimates) HalfWidth(name string) OptFloat {
+	switch name {
+	case "pd_cpu_util_pct":
+		return e.PdCPUUtilHW
+	case "main_cpu_util_pct":
+		return e.MainCPUUtilHW
+	case "app_cpu_util_pct":
+		return e.AppCPUUtilHW
+	case "pd_net_util_pct":
+		return e.PdNetUtilHW
+	case "latency_mean_us":
+		return e.LatencyMeanHW
+	}
+	return Missing()
+}
+
+// Evaluator is one evaluation backend: it maps a scenario to metric
+// estimates. Implementations must be deterministic for a fixed scenario
+// (including its Seed) — the dashboard's byte-identical-output contract
+// rests on it.
+type Evaluator interface {
+	Name() string
+	Evaluate(scenario.Spec) (Estimates, error)
+}
+
+// ErrNoData reports that a backend has no value for an operating point
+// (the paper tabulates only some cells). The dashboard records the cell
+// as missing rather than failing the run.
+var ErrNoData = errors.New("xval: no data for operating point")
+
+// SimEvaluator runs the discrete-event ROCC simulation: Reps independent
+// replications (seeds derived from the scenario's Seed exactly as
+// core.RunReplications derives them), observability metrics enabled so
+// the latency histogram yields p50/p99, and Student-t confidence
+// intervals at CILevel across replications.
+type SimEvaluator struct {
+	// Reps is the replication count (default 1; CIs need >= 2).
+	Reps int
+	// DurationUS, when positive, overrides the scenario's duration.
+	DurationUS float64
+	// Workers sizes the replication worker pool: 0 = one per core,
+	// 1 = serial. The cross-validation runner fans grid cells out itself
+	// and passes 1 here to keep the pools from nesting.
+	Workers int
+	// CILevel is the confidence level (default 0.90, the paper's choice).
+	CILevel float64
+}
+
+// Name implements Evaluator.
+func (e SimEvaluator) Name() string { return "simulation" }
+
+// Evaluate implements Evaluator.
+func (e SimEvaluator) Evaluate(sp scenario.Spec) (Estimates, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return Estimates{}, err
+	}
+	if e.DurationUS > 0 {
+		cfg.Duration = e.DurationUS
+	}
+	reps := e.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	level := e.CILevel
+	if level <= 0 || level >= 1 {
+		level = 0.90
+	}
+	seeds := core.ReplicationSeeds(cfg.Seed, reps)
+	results, err := par.Map(e.Workers, seeds, func(_ int, seed uint64) (core.Result, error) {
+		c := cfg
+		c.Seed = seed
+		m, err := core.New(c)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if _, err := m.EnableObservability(core.ObsOptions{Metrics: true}); err != nil {
+			return core.Result{}, err
+		}
+		return m.Run(), nil
+	})
+	if err != nil {
+		return Estimates{}, err
+	}
+	return estimatesFromResults(results, level), nil
+}
+
+// estimatesFromResults aggregates replication Results into Estimates,
+// converting core.Result's seconds to microseconds and computing mean and
+// CI half-width per metric. With fewer than two replications the
+// half-widths are Missing.
+func estimatesFromResults(results []core.Result, level float64) Estimates {
+	est := emptyEstimates()
+	agg := func(f func(core.Result) float64) (OptFloat, OptFloat) {
+		if len(results) == 0 {
+			return Missing(), Missing()
+		}
+		vals := make([]float64, len(results))
+		for i, r := range results {
+			vals[i] = f(r)
+		}
+		if len(vals) < 2 {
+			return OptFloat(vals[0]), Missing()
+		}
+		ci, err := stats.MeanCI(vals, level)
+		if err != nil {
+			return OptFloat(stats.MeanOf(vals)), Missing()
+		}
+		return OptFloat(ci.Mean), OptFloat(ci.HalfWidth)
+	}
+	est.PdCPUUtilPct, est.PdCPUUtilHW = agg(func(r core.Result) float64 { return r.PdCPUUtilPct })
+	est.MainCPUUtilPct, est.MainCPUUtilHW = agg(func(r core.Result) float64 { return r.MainCPUUtilPct })
+	est.AppCPUUtilPct, est.AppCPUUtilHW = agg(func(r core.Result) float64 { return r.AppCPUUtilPct })
+	est.PdNetUtilPct, est.PdNetUtilHW = agg(func(r core.Result) float64 { return r.PdNetUtilPct })
+	est.LatencyMeanUS, est.LatencyMeanHW = agg(func(r core.Result) float64 { return r.MonitoringLatencySec * usPerSec })
+	est.LatencyP50US, _ = agg(func(r core.Result) float64 { return r.MonitoringLatencyP50Sec * usPerSec })
+	est.LatencyP99US, _ = agg(func(r core.Result) float64 { return r.MonitoringLatencyP99Sec * usPerSec })
+	return est
+}
+
+// AnalyticEvaluator evaluates the Section 3 operational-analysis
+// equations for the scenario's architecture and forwarding configuration,
+// taking the demand parameters from the scenario's cost model and
+// workload (so a re-parameterized scenario cross-validates against the
+// matching analytic prediction, not the Table 2 constants).
+type AnalyticEvaluator struct{}
+
+// Name implements Evaluator.
+func (AnalyticEvaluator) Name() string { return "analytic" }
+
+// Params maps a validated configuration onto the analytic parameters.
+func (AnalyticEvaluator) Params(cfg core.Config) analytic.Params {
+	return analytic.Params{
+		SamplingPeriod: cfg.SamplingPeriod,
+		BatchSize:      float64(cfg.BatchSize),
+		AppProcs:       float64(cfg.AppProcs),
+		Nodes:          float64(cfg.Nodes),
+		Pds:            float64(cfg.Pds),
+		DPdCPU:         cfg.Cost.PerMsgCPU.Mean(),
+		DPdNet:         cfg.Cost.PerMsgNet.Mean(),
+		DPdmCPU:        cfg.Cost.Merge.Mean(),
+		DParadynCPU:    cfg.Workload.MainCPU.Mean(),
+	}
+}
+
+// Evaluate implements Evaluator.
+func (e AnalyticEvaluator) Evaluate(sp scenario.Spec) (Estimates, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return Estimates{}, err
+	}
+	if cfg.SamplingPeriod <= 0 {
+		return Estimates{}, errors.New("xval: analytic model needs a positive sampling period (uninstrumented cell)")
+	}
+	p := e.Params(cfg)
+	if err := p.Validate(); err != nil {
+		return Estimates{}, err
+	}
+	var m analytic.Metrics
+	switch {
+	case cfg.Arch == core.SMP:
+		m = p.SMP()
+	case cfg.Arch == core.MPP && cfg.Forwarding == forward.Tree:
+		m = p.MPPTree()
+	case cfg.Arch == core.MPP:
+		m = p.MPPDirect()
+	default:
+		m = p.NOW()
+	}
+	est := emptyEstimates()
+	est.PdCPUUtilPct = OptFloat(m.PdCPUUtil * 100)
+	est.MainCPUUtilPct = OptFloat(m.ParadynCPUUtil * 100)
+	est.AppCPUUtilPct = OptFloat(m.AppCPUUtil * 100)
+	est.PdNetUtilPct = OptFloat(m.PdNetUtil * 100)
+	est.LatencyMeanUS = OptFloat(m.LatencyUS) // already microseconds
+	return est, nil
+}
+
+// PaperDataEvaluator serves the embedded dataset of the paper's values
+// for the grid operating points (see paperdata.go for provenance);
+// operating points the paper does not cover return ErrNoData.
+type PaperDataEvaluator struct{}
+
+// Name implements Evaluator.
+func (PaperDataEvaluator) Name() string { return "paper" }
+
+// Evaluate implements Evaluator.
+func (PaperDataEvaluator) Evaluate(sp scenario.Spec) (Estimates, error) {
+	key, err := Key(sp)
+	if err != nil {
+		return Estimates{}, err
+	}
+	p, ok := paperPoints[key]
+	if !ok {
+		return Estimates{}, fmt.Errorf("%w: %s", ErrNoData, key)
+	}
+	est := emptyEstimates()
+	est.PdCPUUtilPct = OptFloat(p.PdCPUUtilPct)
+	est.MainCPUUtilPct = OptFloat(p.MainCPUUtilPct)
+	est.AppCPUUtilPct = OptFloat(p.AppCPUUtilPct)
+	est.PdNetUtilPct = OptFloat(p.PdNetUtilPct)
+	est.LatencyMeanUS = OptFloat(p.LatencyMeanUS)
+	return est, nil
+}
+
+// Key canonicalizes a scenario to the operating-point identity the paper
+// dataset is keyed on: architecture, population, sampling period, policy
+// and batch, forwarding configuration, and application type (via the
+// application network demand). Run-control fields — duration, warmup,
+// seed — are deliberately excluded: the paper's values describe the
+// operating point, not one run of it.
+func Key(sp scenario.Spec) (string, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|n=%d|p=%d|pds=%d|sp=%g|%s%d|%s|appnet=%g",
+		strings.ToLower(cfg.Arch.String()), cfg.Nodes, cfg.AppProcs, cfg.Pds,
+		cfg.SamplingPeriod, strings.ToLower(cfg.Policy.String()), cfg.BatchSize,
+		cfg.Forwarding.String(), cfg.Workload.AppNet.Mean()), nil
+}

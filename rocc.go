@@ -37,6 +37,7 @@ import (
 	"rocc/internal/testbed"
 	"rocc/internal/trace"
 	"rocc/internal/workload"
+	"rocc/internal/xval"
 )
 
 // Simulation model configuration and results (see internal/core for the
@@ -241,7 +242,54 @@ func CharacterizeTrace(recs []TraceRecord) (*Characterization, error) {
 type (
 	// Scenario is the JSON form of a simulation configuration.
 	Scenario = scenario.Spec
+	// ScenarioCell is one operating point of a scenario grid.
+	ScenarioCell = scenario.Cell
+	// ScenarioGrid is an ordered set of scenario operating points.
+	ScenarioGrid = scenario.Grid
 )
+
+// PaperGrid returns the paper's NOW evaluation operating points (the
+// Table 4 factorial plus the instrumented points of Figures 17-19) in
+// deterministic order.
+func PaperGrid() ScenarioGrid { return scenario.PaperGrid() }
+
+// FullGrid extends PaperGrid with the SMP and MPP factorial designs.
+func FullGrid() ScenarioGrid { return scenario.FullGrid() }
+
+// Cross-validation: the unified Evaluator API and the dashboard built on
+// it (see internal/xval).
+type (
+	// Evaluator is one evaluation backend mapping a scenario to estimates.
+	Evaluator = xval.Evaluator
+	// Estimates is the common output schema of every backend.
+	Estimates = xval.Estimates
+	// SimEvaluator evaluates by discrete-event simulation.
+	SimEvaluator = xval.SimEvaluator
+	// AnalyticEvaluator evaluates equations (1)-(16).
+	AnalyticEvaluator = xval.AnalyticEvaluator
+	// PaperDataEvaluator serves the embedded dataset of the paper's values.
+	PaperDataEvaluator = xval.PaperDataEvaluator
+	// CrossValidationOptions scales a cross-validation run.
+	CrossValidationOptions = xval.Options
+	// CrossValidationReport is the resulting error surface.
+	CrossValidationReport = xval.Report
+)
+
+// DefaultCrossValidationOptions returns the default dashboard scaling.
+func DefaultCrossValidationOptions() CrossValidationOptions { return xval.DefaultOptions() }
+
+// DefaultEvaluators returns the three standard backends — analytic,
+// simulation, paper — at the option scale.
+func DefaultEvaluators(opt CrossValidationOptions) []Evaluator { return xval.DefaultEvaluators(opt) }
+
+// CrossValidate runs every evaluator over every grid cell and assembles
+// the error surface: per-metric relative error against the reference
+// backend, CI coverage, and worst-case divergence per architecture/policy
+// cell. Output is deterministic for a fixed Options.Seed at any
+// Options.Workers setting.
+func CrossValidate(g ScenarioGrid, evals []Evaluator, opt CrossValidationOptions) (*CrossValidationReport, error) {
+	return xval.Run(g, evals, opt)
+}
 
 // LoadScenario reads a JSON scenario.
 func LoadScenario(r io.Reader) (Scenario, error) { return scenario.Load(r) }
