@@ -7,6 +7,7 @@
 //	roccbench -exp all -duration 100 -reps 50   # paper scale
 //	roccbench -exp fig9 -csv                    # CSV series for plotting
 //	roccbench -exp fig16 -parallel 8            # fan replications over 8 workers
+//	roccbench -exp table4 -dist 4               # fan factorial runs over 4 worker processes
 //	roccbench -exp bench -json -out BENCH_baseline.json   # perf record
 //	roccbench -compare BENCH_PR3.json -baseline BENCH_baseline.json
 //	roccbench -exp fig17 -cpuprofile cpu.pprof  # profile the regeneration
@@ -14,7 +15,10 @@
 // -parallel N fans the independent simulation runs of an experiment
 // (replications, factorial rows, sweep points) over N worker goroutines;
 // 0 means one per core, 1 forces the serial path. Output is byte-identical
-// at any setting. -json measures each experiment serial and parallel and
+// at any setting. -dist N instead fans the factorial designs over N worker
+// processes through the fault-tolerant distributed engine (internal/dist);
+// the workers are this binary re-executed with -worker, and output is
+// byte-identical to the in-process paths. -json measures each experiment serial and parallel and
 // writes a machine-readable perf record (ns/op, allocs/op, speedup) used
 // to track the engine's trajectory in BENCH_baseline.json.
 package main
@@ -29,12 +33,15 @@ import (
 	"time"
 
 	"rocc/internal/cli"
+	"rocc/internal/dist"
 	"rocc/internal/experiments"
 )
 
 func main() {
 	var (
 		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		worker    = flag.Bool("worker", false, "run as a distributed-sweep worker on stdin/stdout (started by -dist drivers)")
+		distN     = flag.Int("dist", 0, "fan factorial designs over this many worker processes (0 = in-process)")
 		list      = flag.Bool("list", false, "list available experiments")
 		duration  = flag.Float64("duration", 10, "simulated seconds per run")
 		reps      = flag.Int("reps", 3, "replications for factorial designs (paper: 50)")
@@ -52,6 +59,14 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit")
 	)
 	flag.Parse()
+
+	if *worker {
+		if err := dist.ServeWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare != "" {
 		if *baseline == "" {
@@ -118,6 +133,7 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Parallel = *parallel
+	opt.DistWorkers = *distN
 
 	if *jsonOut {
 		ids := expandIDs(*exp)

@@ -6,8 +6,11 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // JSON registers -json: machine-readable output instead of text tables.
@@ -22,15 +25,68 @@ func Out(fs *flag.FlagSet) *string {
 
 // Parallel registers -parallel: the worker-pool size shared by every
 // replication/sweep fan-out. Output is order-preserved, so results are
-// byte-identical at any setting.
+// byte-identical at any setting. Negative values are rejected at parse
+// time with a usage error — a negative pool size used to fall silently
+// through to the one-per-core default.
 func Parallel(fs *flag.FlagSet) *int {
-	return fs.Int("parallel", 0, "worker pool size (0 = one per core, 1 = serial); output is byte-identical at any setting")
+	p := new(int)
+	fs.Var(parallelValue{p}, "parallel", "worker pool size (0 = one per core, 1 = serial); output is byte-identical at any setting")
+	return p
+}
+
+// parallelValue validates -parallel at parse time.
+type parallelValue struct{ p *int }
+
+func (v parallelValue) String() string {
+	if v.p == nil {
+		return "0"
+	}
+	return strconv.Itoa(*v.p)
+}
+
+func (v parallelValue) Set(s string) error {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return fmt.Errorf("must be an integer, got %q", s)
+	}
+	if n < 0 {
+		return fmt.Errorf("must be >= 0 (0 = one worker per core), got %d", n)
+	}
+	*v.p = n
+	return nil
 }
 
 // Seed registers -seed: the master random seed all model seeds derive
-// from.
+// from. Negative inputs (which would underflow the unsigned seed space)
+// and values past 2^64-1 are rejected at parse time with a usage error.
 func Seed(fs *flag.FlagSet) *uint64 {
-	return fs.Uint64("seed", 1, "master random seed")
+	s := new(uint64)
+	*s = 1
+	fs.Var(seedValue{s}, "seed", "master random seed")
+	return s
+}
+
+// seedValue validates -seed at parse time.
+type seedValue struct{ s *uint64 }
+
+func (v seedValue) String() string {
+	if v.s == nil {
+		return "0"
+	}
+	return strconv.FormatUint(*v.s, 10)
+}
+
+func (v seedValue) Set(raw string) error {
+	s := strings.TrimSpace(raw)
+	if strings.HasPrefix(s, "-") {
+		return fmt.Errorf("must be non-negative (seeds are unsigned 64-bit integers), got %q", raw)
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("must be an unsigned 64-bit integer, got %q", raw)
+	}
+	*v.s = n
+	return nil
 }
 
 // nopCloser wraps stdout so Output callers can defer Close uniformly.

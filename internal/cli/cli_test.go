@@ -2,8 +2,10 @@ package cli
 
 import (
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -26,6 +28,68 @@ func TestSharedFlagDefaults(t *testing.T) {
 	}
 	if *j || *o != "" || *p != 0 || *s != 1 {
 		t.Fatalf("defaults json=%v out=%q parallel=%d seed=%d", *j, *o, *p, *s)
+	}
+}
+
+// Negative -parallel and -seed underflow/overflow must be usage errors
+// at parse time, not silent fall-through to defaults (or wrapped values).
+func TestSharedFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		check   func(p int, s uint64) bool
+	}{
+		{"negative parallel", []string{"-parallel", "-1"}, true, nil},
+		{"very negative parallel", []string{"-parallel", "-64"}, true, nil},
+		{"non-integer parallel", []string{"-parallel", "two"}, true, nil},
+		{"float parallel", []string{"-parallel", "1.5"}, true, nil},
+		{"zero parallel ok", []string{"-parallel", "0"}, false, func(p int, _ uint64) bool { return p == 0 },
+		},
+		{"positive parallel ok", []string{"-parallel", "16"}, false, func(p int, _ uint64) bool { return p == 16 },
+		},
+		{"seed underflow", []string{"-seed", "-1"}, true, nil},
+		{"seed deep underflow", []string{"-seed", "-18446744073709551615"}, true, nil},
+		{"seed overflow", []string{"-seed", "18446744073709551616"}, true, nil},
+		{"seed not a number", []string{"-seed", "abc"}, true, nil},
+		{"seed zero ok", []string{"-seed", "0"}, false, func(_ int, s uint64) bool { return s == 0 },
+		},
+		{"seed max ok", []string{"-seed", "18446744073709551615"}, false, func(_ int, s uint64) bool { return s == 1<<64 - 1 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			p, s := Parallel(fs), Seed(fs)
+			err := fs.Parse(tc.args)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%v) succeeded (parallel=%d seed=%d), want usage error", tc.args, *p, *s)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%v): %v", tc.args, err)
+			}
+			if !tc.check(*p, *s) {
+				t.Errorf("Parse(%v): parallel=%d seed=%d", tc.args, *p, *s)
+			}
+		})
+	}
+}
+
+// The registered defaults must render in usage output despite the custom
+// flag.Value types.
+func TestSharedFlagUsageDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var buf strings.Builder
+	fs.SetOutput(&buf)
+	Parallel(fs)
+	Seed(fs)
+	fs.PrintDefaults()
+	if out := buf.String(); !strings.Contains(out, "default 1") {
+		t.Errorf("usage output missing seed default:\n%s", out)
 	}
 }
 

@@ -35,6 +35,16 @@ func ReplicationSeeds(base uint64, reps int) []uint64 {
 	return seeds
 }
 
+// FactorialReplicationSeeds derives the reps model seeds of one row of a
+// factorial (or grid) design from the master seed: the row's base seed
+// comes from SeedStreamFactorial at the row index, and the per-replication
+// seeds from SeedStreamReplication under it. The experiment drivers and
+// the distributed sweep engine share this chain, so a row's results are
+// identical no matter which driver — or which host — runs it.
+func FactorialReplicationSeeds(master uint64, row, reps int) []uint64 {
+	return ReplicationSeeds(DeriveSeed(master, SeedStreamFactorial, uint64(row)), reps)
+}
+
 // RunReplicationsParallel is RunReplications with an explicit worker-pool
 // size: 1 forces the serial path, 0 uses the par.Workers() default. Any
 // pool size yields identical Results for a fixed cfg.Seed.

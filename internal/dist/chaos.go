@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rocc/internal/core"
+)
+
+// Chaos wraps a Runner with deterministic fault injection: worker
+// crashes mid-shard, hangs (until the driver's deadline kills the
+// attempt), artificial delays, and start failures. Faults are drawn from
+// per-(shard, attempt) substreams of core.DeriveSeed, so a chaos
+// schedule is exactly reproducible across runs, worker counts, and
+// placements — the harness the determinism tests stand on, following the
+// internal/faults seeding idiom.
+type Chaos struct {
+	// Inner is the wrapped runner.
+	Inner Runner
+	// Seed selects the fault schedule.
+	Seed uint64
+	// Crash is the per-attempt probability the worker dies mid-shard.
+	Crash float64
+	// Hang is the per-attempt probability the worker wedges until its
+	// context (the driver's per-attempt deadline) expires.
+	Hang float64
+	// Delay is the per-attempt probability the shard is delayed by
+	// DelayFor before executing (exercises straggler re-dispatch).
+	Delay float64
+	// DelayFor is the straggler delay; zero means no artificial delay.
+	DelayFor func(ctx context.Context)
+	// StartFail is the per-start probability Start returns an error.
+	StartFail float64
+
+	mu       sync.Mutex
+	attempts map[int]int // per-shard attempt counter
+	starts   int
+}
+
+// Substream salts for the fault draws; arbitrary but fixed.
+const (
+	chaosStreamRun   uint64 = 0x6368616f73 // "chaos"
+	chaosStreamStart uint64 = 0x7374617274 // "start"
+)
+
+// ErrInjectedCrash marks a chaos-injected worker crash.
+var ErrInjectedCrash = errors.New("dist: chaos: injected worker crash")
+
+// draw maps a derived seed to a uniform float in [0, 1).
+func chaosDraw(seed, stream, index uint64) float64 {
+	return float64(core.DeriveSeed(seed, stream, index)>>11) / (1 << 53)
+}
+
+// Name implements Runner.
+func (c *Chaos) Name() string { return "chaos(" + c.Inner.Name() + ")" }
+
+// Start implements Runner, occasionally refusing to.
+func (c *Chaos) Start(ctx context.Context) (Worker, error) {
+	c.mu.Lock()
+	k := c.starts
+	c.starts++
+	c.mu.Unlock()
+	if chaosDraw(c.Seed, chaosStreamStart, uint64(k)) < c.StartFail {
+		return nil, fmt.Errorf("dist: chaos: injected start failure (start %d)", k)
+	}
+	w, err := c.Inner.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosWorker{c: c, inner: w}, nil
+}
+
+type chaosWorker struct {
+	c     *Chaos
+	inner Worker
+}
+
+// Run implements Worker. One fault draw per (shard, attempt), partitioned
+// crash → hang → delay so at most one fault fires per attempt.
+func (w *chaosWorker) Run(ctx context.Context, id int, jobs []Job) ([]core.Result, error) {
+	c := w.c
+	c.mu.Lock()
+	if c.attempts == nil {
+		c.attempts = make(map[int]int)
+	}
+	attempt := c.attempts[id]
+	c.attempts[id]++
+	c.mu.Unlock()
+
+	// Shard index and attempt packed into one substream index; attempts
+	// beyond 2^20 per shard would alias, far past any retry budget.
+	u := chaosDraw(c.Seed, chaosStreamRun, uint64(id)<<20|uint64(attempt))
+	switch {
+	case u < c.Crash:
+		return nil, ErrInjectedCrash
+	case u < c.Crash+c.Hang:
+		<-ctx.Done() // wedge until the driver's deadline kills us
+		return nil, ctx.Err()
+	case u < c.Crash+c.Hang+c.Delay && c.DelayFor != nil:
+		c.DelayFor(ctx)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return w.inner.Run(ctx, id, jobs)
+}
+
+// Close implements Worker.
+func (w *chaosWorker) Close() error { return w.inner.Close() }

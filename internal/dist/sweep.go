@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"rocc/internal/core"
+	"rocc/internal/scenario"
+)
+
+// This file is the grid-level face of the engine: turn a named scenario
+// grid into the flat job list Run distributes, then fold the merged
+// results back into per-cell replication blocks. The seed chain is
+// core.FactorialReplicationSeeds — the same one the in-process experiment
+// drivers use — so a distributed sweep of a grid reproduces the local
+// runs byte for byte.
+
+// SweepOptions selects a grid sweep.
+type SweepOptions struct {
+	// Grid names the scenario grid (see GridByName).
+	Grid string
+	// Reps is the replication count per cell (min 1).
+	Reps int
+	// DurationSec, when positive, overrides every cell's simulated
+	// duration (seconds).
+	DurationSec float64
+	// Seed is the master seed the per-cell replication seeds derive from.
+	Seed uint64
+	// Dist tunes distribution and fault handling.
+	Dist Options
+}
+
+// CellResult is one grid cell's replication block.
+type CellResult struct {
+	ID      string        `json:"id"`
+	Label   string        `json:"label"`
+	Results []core.Result `json:"results"`
+}
+
+// SweepReport is the merged output of a grid sweep. Its JSON form is the
+// roccsweep output format, and is byte-identical for a given
+// (grid, seed, reps, duration) regardless of worker topology or faults.
+type SweepReport struct {
+	Grid        string       `json:"grid"`
+	Seed        uint64       `json:"seed"`
+	Reps        int          `json:"reps"`
+	DurationSec float64      `json:"duration_sec,omitempty"`
+	Cells       []CellResult `json:"cells"`
+}
+
+// Replicated converts one cell's block to the analysis type.
+func (c CellResult) Replicated() core.Replicated {
+	return core.Replicated{Results: c.Results}
+}
+
+// GridByName resolves the sweepable scenario grids.
+func GridByName(name string) (scenario.Grid, error) {
+	switch name {
+	case "smoke":
+		return scenario.SmokeGrid(), nil
+	case "paper":
+		return scenario.PaperGrid(), nil
+	case "full":
+		return scenario.FullGrid(), nil
+	case "table4":
+		return scenario.Table4Grid(), nil
+	case "table5":
+		return scenario.Table5Grid(), nil
+	case "table6":
+		return scenario.Table6Grid(), nil
+	}
+	return scenario.Grid{}, fmt.Errorf("dist: unknown grid %q (want smoke, paper, full, table4, table5, or table6)", name)
+}
+
+// SweepJobs flattens a grid into the job list Run distributes: cells in
+// grid order, reps consecutive jobs per cell, every model seed
+// pre-derived from (master, cell index, replication index). The flat
+// order is the contract that lets results merge back by index.
+func SweepJobs(g scenario.Grid, master uint64, reps int, durationSec float64) []Job {
+	if reps < 1 {
+		reps = 1
+	}
+	jobs := make([]Job, 0, len(g.Cells)*reps)
+	for i, cell := range g.Cells {
+		spec := cell.Spec
+		if durationSec > 0 {
+			spec.Duration = durationSec * 1e6
+		}
+		for _, seed := range core.FactorialReplicationSeeds(master, i, reps) {
+			jobs = append(jobs, Job{Spec: spec, Seed: seed})
+		}
+	}
+	return jobs
+}
+
+// Sweep runs a full grid sweep through the distributed engine and folds
+// the flat results back into per-cell blocks.
+func Sweep(ctx context.Context, opt SweepOptions) (SweepReport, error) {
+	g, err := GridByName(opt.Grid)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	reps := opt.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	jobs := SweepJobs(g, seed, reps, opt.DurationSec)
+	results, err := Run(ctx, jobs, opt.Dist)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	rep := SweepReport{Grid: g.Name, Seed: seed, Reps: reps, DurationSec: opt.DurationSec,
+		Cells: make([]CellResult, len(g.Cells))}
+	for i, cell := range g.Cells {
+		rep.Cells[i] = CellResult{ID: cell.ID, Label: cell.Label,
+			Results: results[i*reps : (i+1)*reps]}
+	}
+	return rep, nil
+}

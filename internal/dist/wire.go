@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rocc/internal/core"
+)
+
+// The wire protocol between driver and worker: length-prefixed JSON
+// frames over the worker's stdin/stdout. Each frame is a 4-byte
+// big-endian payload length followed by one JSON document. The driver
+// sends one request at a time per worker and waits for the matching
+// response; a worker that answers with the wrong shard id, an oversized
+// frame, or malformed JSON is treated as failed and replaced — the shard
+// is simply retried, so protocol corruption can never corrupt results.
+
+// wireVersion is bumped on any incompatible protocol change; mismatches
+// fail the shard (and eventually drain it locally) rather than guessing.
+const wireVersion = 1
+
+// maxFrame bounds a frame payload (64 MiB) so a corrupt length prefix
+// cannot make the driver attempt a multi-gigabyte allocation.
+const maxFrame = 64 << 20
+
+// request asks a worker to execute one shard: run every job, in order.
+type request struct {
+	V    int   `json:"v"`
+	ID   int   `json:"id"` // shard index, echoed in the response
+	Jobs []Job `json:"jobs"`
+}
+
+// response carries a shard's results (one per job, in job order) or the
+// error that stopped execution.
+type response struct {
+	V       int           `json:"v"`
+	ID      int           `json:"id"`
+	Results []core.Result `json:"results,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// writeFrame marshals v and writes one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dist: encode frame: %w", err)
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds %d-byte limit", len(b), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames (worker
+// shutdown); any mid-frame truncation is an unexpected-EOF error.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("dist: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds %d-byte limit", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("dist: read frame payload: %w", err)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return nil
+}
+
+// ServeWorker runs the worker side of the protocol until the driver
+// closes the connection (EOF on r): read a shard request, execute its
+// jobs in order, write the response. Commands embedding the sweep engine
+// dispatch their -worker flag here with os.Stdin/os.Stdout.
+//
+// Job errors are reported in-band (the driver retries the shard and, if
+// it keeps failing, reproduces the error deterministically through the
+// local fallback); only transport-level failures end the loop.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		var req request
+		switch err := readFrame(br, &req); {
+		case err == io.EOF:
+			return nil
+		case err != nil:
+			return err
+		}
+		resp := response{V: wireVersion, ID: req.ID}
+		if req.V != wireVersion {
+			resp.Error = fmt.Sprintf("dist: protocol version %d, worker speaks %d", req.V, wireVersion)
+		} else if results, err := executeAll(req.Jobs); err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Results = results
+		}
+		if err := writeFrame(bw, resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"rocc/internal/core"
+	"rocc/internal/dist"
+	"rocc/internal/scenario"
+)
+
+// TestRunFactorialDistMatchesLocal pins the -dist wiring to the
+// determinism contract: a factorial design fanned through the
+// distributed engine — with worker crashes injected — produces exactly
+// the values the in-process par.Map path produces.
+func TestRunFactorialDistMatchesLocal(t *testing.T) {
+	rows, err := gridRows(scenario.Table4Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 5, DurationUS: 0.02e6, Reps: 2}
+	ovLocal, latLocal, err := runFactorial(rows, opt, core.MetricPdCPUUtil, core.MetricLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers run in-process (the test binary cannot self-exec as a
+	// worker), with deterministic crash injection to exercise retries.
+	orig := distRunners
+	defer func() { distRunners = orig }()
+	distRunners = func(n int) []dist.Runner {
+		rs := make([]dist.Runner, n)
+		for i := range rs {
+			rs[i] = &dist.Chaos{Inner: dist.InProcessRunner{ID: i}, Seed: uint64(i + 1), Crash: 0.2}
+		}
+		return rs
+	}
+	opt.DistWorkers = 3
+	ovDist, latDist, err := runFactorial(rows, opt, core.MetricPdCPUUtil, core.MetricLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ovDist, ovLocal) {
+		t.Fatal("distributed overhead values diverge from local path")
+	}
+	if !reflect.DeepEqual(latDist, latLocal) {
+		t.Fatal("distributed latency values diverge from local path")
+	}
+}

@@ -36,6 +36,11 @@ type Options struct {
 	// byte-identical at any setting — seeds are pre-derived and results
 	// collected in index order.
 	Parallel int
+	// DistWorkers, when positive, fans the factorial designs across that
+	// many worker processes through the fault-tolerant distributed engine
+	// (internal/dist) instead of in-process goroutines. The seed chain is
+	// shared with the local path, so output stays byte-identical.
+	DistWorkers int
 }
 
 // Default returns the fast default scaling.

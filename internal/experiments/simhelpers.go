@@ -1,15 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"rocc/internal/core"
+	"rocc/internal/dist"
 	"rocc/internal/doe"
 	"rocc/internal/par"
 	"rocc/internal/report"
 	"rocc/internal/scenario"
 )
+
+// distRunners builds the worker fleet for Options.DistWorkers — local
+// subprocesses re-executing the current binary with -worker. A variable
+// so tests (whose binary is the test runner, not a worker) substitute
+// in-process runners.
+var distRunners = func(n int) []dist.Runner { return dist.LocalRunners(n) }
 
 // simMetrics are the four panels of the simulation figures (18, 19, 22-24,
 // 26-28).
@@ -141,20 +150,32 @@ func runFactorial(rows []factorialRow, opt Options, overhead, latency core.Metri
 	for i, row := range rows {
 		cfg := row.cfg
 		cfg.Duration = opt.DurationUS
-		rowSeed := core.DeriveSeed(opt.Seed, core.SeedStreamFactorial, uint64(i))
-		for _, seed := range core.ReplicationSeeds(rowSeed, reps) {
+		for _, seed := range core.FactorialReplicationSeeds(opt.Seed, i, reps) {
 			c := cfg
 			c.Seed = seed
 			jobs = append(jobs, job{row: i, cfg: c})
 		}
 	}
-	flat, err := par.Map(opt.Parallel, jobs, func(_ int, j job) (core.Result, error) {
-		m, err := core.New(j.cfg)
-		if err != nil {
-			return core.Result{}, fmt.Errorf("row %s: %w", rows[j.row].label, err)
+	var flat []core.Result
+	if opt.DistWorkers > 0 {
+		djobs := make([]dist.Job, len(jobs))
+		for k, j := range jobs {
+			djobs[k] = dist.Job{Spec: scenario.FromConfig(j.cfg), Seed: j.cfg.Seed}
 		}
-		return m.Run(), nil
-	})
+		flat, err = dist.Run(context.Background(), djobs, dist.Options{
+			Runners:       distRunners(opt.DistWorkers),
+			LocalParallel: opt.Parallel,
+			Log:           os.Stderr,
+		})
+	} else {
+		flat, err = par.Map(opt.Parallel, jobs, func(_ int, j job) (core.Result, error) {
+			m, err := core.New(j.cfg)
+			if err != nil {
+				return core.Result{}, fmt.Errorf("row %s: %w", rows[j.row].label, err)
+			}
+			return m.Run(), nil
+		})
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,66 @@
+package obs
+
+import "sync/atomic"
+
+// AtomicCounter is a goroutine-safe monotonic counter for layers that
+// record from many goroutines at once — the distributed sweep driver's
+// slot goroutines, retry timers, and local-fallback pool — unlike
+// Counter, which belongs to the single-goroutine simulator loop.
+type AtomicCounter struct {
+	Name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
+
+// SweepMetrics counts the fault-handling actions of a distributed sweep
+// (internal/dist): how often shards were retried, speculatively
+// re-dispatched, or drained through the local fallback, and how the
+// worker fleet fared. None of these counters affect sweep output — the
+// merged results are byte-identical whatever they read — so they are the
+// observability surface for judging a run's health.
+type SweepMetrics struct {
+	Dispatched     AtomicCounter // shard attempts handed to workers (first attempts)
+	Completed      AtomicCounter // shards completed (first completion only)
+	Retries        AtomicCounter // shards requeued for another attempt after a failure
+	Redispatches   AtomicCounter // speculative duplicate dispatches of straggling shards
+	Duplicates     AtomicCounter // completions discarded because the shard was already done
+	Timeouts       AtomicCounter // attempts killed at the per-shard deadline
+	WorkerFailures AtomicCounter // attempts that returned a worker/transport error
+	WorkerRestarts AtomicCounter // replacement workers started after a failure
+	Quarantines    AtomicCounter // worker slots retired after repeated failures
+	LocalShards    AtomicCounter // shards drained through the local fallback
+}
+
+// NewSweepMetrics returns a named sweep-metric registry.
+func NewSweepMetrics() *SweepMetrics {
+	m := &SweepMetrics{}
+	for name, c := range map[string]*AtomicCounter{
+		"dispatched":      &m.Dispatched,
+		"completed":       &m.Completed,
+		"retries":         &m.Retries,
+		"redispatches":    &m.Redispatches,
+		"duplicates":      &m.Duplicates,
+		"timeouts":        &m.Timeouts,
+		"worker_failures": &m.WorkerFailures,
+		"worker_restarts": &m.WorkerRestarts,
+		"quarantines":     &m.Quarantines,
+		"local_shards":    &m.LocalShards,
+	} {
+		c.Name = name
+	}
+	return m
+}
+
+// Counters returns the registry's counters in a stable order.
+func (m *SweepMetrics) Counters() []*AtomicCounter {
+	return []*AtomicCounter{
+		&m.Dispatched, &m.Completed, &m.Retries, &m.Redispatches,
+		&m.Duplicates, &m.Timeouts, &m.WorkerFailures, &m.WorkerRestarts,
+		&m.Quarantines, &m.LocalShards,
+	}
+}

@@ -1,0 +1,66 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A panicking worker function must not crash the process; it must surface
+// as the lowest-index *PanicError, exactly like an ordinary error, at any
+// pool size.
+func TestMapRecoversWorkerPanic(t *testing.T) {
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 32} {
+		out, err := Map(workers, items, func(i int, v int) (int, error) {
+			if i == 7 || i == 19 {
+				panic("boom")
+			}
+			return v * 2, nil
+		})
+		if out != nil {
+			t.Errorf("workers=%d: partial results not discarded", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 {
+			t.Errorf("workers=%d: panic index = %d, want lowest (7)", workers, pe.Index)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("workers=%d: panic value = %v, want boom", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic stack not captured", workers)
+		}
+		if !strings.Contains(err.Error(), "item 7") {
+			t.Errorf("workers=%d: error %q does not name the item", workers, err)
+		}
+	}
+}
+
+// A panic on one item must not prevent other items from completing their
+// work (Map processes every item even when some fail).
+func TestMapPanicDoesNotPoisonPool(t *testing.T) {
+	var processed [16]bool
+	_, err := Map(4, make([]int, 16), func(i int, _ int) (int, error) {
+		if i == 0 {
+			panic(errors.New("first item"))
+		}
+		processed[i] = true
+		return 0, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("got %v, want *PanicError on item 0", err)
+	}
+	for i := 1; i < len(processed); i++ {
+		if !processed[i] {
+			t.Errorf("item %d was skipped after the panic", i)
+		}
+	}
+}

@@ -12,7 +12,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -48,6 +50,12 @@ func SetWorkers(n int) {
 // the one with the lowest item index — the same error the serial loop
 // would hit first — so failures are deterministic regardless of goroutine
 // scheduling. On error the partial results are discarded.
+//
+// A panicking fn does not crash the process: the panic is recovered in
+// the worker (or on the calling goroutine in the serial path) and
+// converted to a *PanicError carrying the item index, panic value, and
+// stack, reported under the same lowest-index rule as ordinary errors —
+// so a panic behaves identically at every pool size.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	if n == 0 {
@@ -62,7 +70,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	out := make([]R, n)
 	if workers == 1 {
 		for i, item := range items {
-			r, err := fn(i, item)
+			r, err := call(fn, i, item)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +95,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 				if i >= n {
 					return
 				}
-				r, err := fn(i, items[i])
+				r, err := call(fn, i, items[i])
 				if err != nil {
 					mu.Lock()
 					if errIdx == -1 || i < errIdx {
@@ -105,4 +113,27 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		return nil, retErr
 	}
 	return out, nil
+}
+
+// PanicError is a fn panic recovered by Map, with the panicking worker's
+// stack preserved for debugging.
+type PanicError struct {
+	Index int    // the item fn panicked on
+	Value any    // the recovered panic value
+	Stack []byte // the worker's stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic on item %d: %v", e.Index, e.Value)
+}
+
+// call invokes fn guarded against panics, so one bad item cannot take
+// down the pool (or, serially, the caller).
+func call[T, R any](fn func(int, T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, item)
 }

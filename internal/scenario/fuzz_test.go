@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rocc/internal/core"
+)
+
+// FuzzLoad feeds malformed, truncated, and adversarial grid/scenario
+// files through the full load path — JSON decoding plus Config
+// materialization and distribution construction. The property: Load and
+// Spec.Config must error on bad input, never panic. This complements the
+// round-trip property test, which only exercises well-formed specs.
+func FuzzLoad(f *testing.F) {
+	// A well-formed spec, its truncations, and hand-picked corruptions.
+	var valid bytes.Buffer
+	if err := Save(&valid, FromConfig(core.DefaultConfig())); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	v := valid.String()
+	for _, cut := range []int{1, len(v) / 4, len(v) / 2, len(v) - 2} {
+		f.Add(v[:cut])
+	}
+	f.Add("")
+	f.Add("{")
+	f.Add("null")
+	f.Add("[]")
+	f.Add(`{"arch":"now"`)
+	f.Add(`{"arch":5}`)
+	f.Add(`{"arch":"now","nodes":"eight"}`)
+	f.Add(`{"unknown_field":1}`)
+	f.Add(`{"arch":"now","workload":{"app_cpu":{"type":"weibull","shape":-1}}}`)
+	f.Add(`{"arch":"now","workload":{"app_cpu":{"type":"unknowndist"}}}`)
+	f.Add(`{"arch":"now","duration_us":-1}`)
+	f.Add(`{"arch":"now","sampling_period_us":1e309}`)
+	f.Add("{\"arch\":\"now\"}{\"arch\":\"smp\"}")
+	f.Add("\x00\x01\x02")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := Load(strings.NewReader(data))
+		if err != nil {
+			return // malformed input must error — and it did
+		}
+		// A spec that decoded cleanly may still be semantically invalid;
+		// materialization must reject it with an error, never a panic.
+		_, _ = s.Config()
+		for _, d := range []DistSpec{
+			s.Workload.AppCPU, s.Workload.AppNet, s.Workload.PvmCPU,
+			s.Workload.PvmInterarrival, s.Workload.MainCPU,
+		} {
+			_, _ = d.Dist()
+		}
+	})
+}
+
+// Truncated files must fail loudly: every strict prefix of a valid spec
+// (except trailing-whitespace-only cuts) is a decode error.
+func TestLoadTruncated(t *testing.T) {
+	var valid bytes.Buffer
+	if err := Save(&valid, FromConfig(core.DefaultConfig())); err != nil {
+		t.Fatal(err)
+	}
+	v := strings.TrimRight(valid.String(), "\n")
+	for _, cut := range []int{0, 1, len(v) / 3, len(v) / 2, len(v) - 1} {
+		if _, err := Load(strings.NewReader(v[:cut])); err == nil {
+			t.Errorf("Load of %d/%d-byte truncation succeeded, want error", cut, len(v))
+		}
+	}
+}

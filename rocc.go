@@ -24,12 +24,14 @@
 package rocc
 
 import (
+	"context"
 	"io"
 
 	"rocc/internal/adaptive"
 	"rocc/internal/analytic"
 	"rocc/internal/consultant"
 	"rocc/internal/core"
+	"rocc/internal/dist"
 	"rocc/internal/experiments"
 	"rocc/internal/forward"
 	"rocc/internal/par"
@@ -290,6 +292,55 @@ func DefaultEvaluators(opt CrossValidationOptions) []Evaluator { return xval.Def
 func CrossValidate(g ScenarioGrid, evals []Evaluator, opt CrossValidationOptions) (*CrossValidationReport, error) {
 	return xval.Run(g, evals, opt)
 }
+
+// Distributed sweeps: the fault-tolerant fan-out engine behind roccsweep
+// and roccbench -dist (see internal/dist and DESIGN.md).
+type (
+	// SweepJob is one distributable simulation unit: a scenario plus its
+	// pre-derived model seed.
+	SweepJob = dist.Job
+	// SweepRunner is one worker slot (subprocess, ssh host, or in-process).
+	SweepRunner = dist.Runner
+	// SweepDistOptions tunes sharding, retry/backoff, deadlines,
+	// checkpointing, and the local fallback.
+	SweepDistOptions = dist.Options
+	// SweepGridOptions selects a grid-level distributed sweep.
+	SweepGridOptions = dist.SweepOptions
+	// SweepGridReport is the merged per-cell output of a grid sweep.
+	SweepGridReport = dist.SweepReport
+)
+
+// LocalSweepWorkers returns n worker slots that re-execute the current
+// binary with -worker (the binary must dispatch that flag to
+// ServeSweepWorker, as roccsweep and roccbench do).
+func LocalSweepWorkers(n int) []SweepRunner { return dist.LocalRunners(n) }
+
+// SSHSweepWorker returns a worker slot on an ssh-reachable host running
+// `roccsweep -worker` (or command, if non-empty).
+func SSHSweepWorker(host, command string) SweepRunner {
+	return dist.SSHRunner{Host: host, Command: command}
+}
+
+// SweepDistributed fans jobs across the given workers with retry,
+// speculative re-dispatch, checkpointing, and graceful degradation to
+// local execution, returning one Result per job in job order. Seeds are
+// pre-derived, so output is byte-identical to the local path at any
+// worker topology and under worker faults. With no runners configured
+// the jobs run on this host.
+func SweepDistributed(jobs []SweepJob, opt SweepDistOptions) ([]Result, error) {
+	return dist.Run(context.Background(), jobs, opt)
+}
+
+// SweepGrid runs a whole scenario grid (by name: "smoke", "paper",
+// "full", "table4", "table5", "table6") through the distributed engine
+// and folds the results into per-cell replication blocks.
+func SweepGrid(opt SweepGridOptions) (SweepGridReport, error) {
+	return dist.Sweep(context.Background(), opt)
+}
+
+// ServeSweepWorker runs the worker side of the sweep protocol on r/w
+// (normally os.Stdin/os.Stdout) until the driver disconnects.
+func ServeSweepWorker(r io.Reader, w io.Writer) error { return dist.ServeWorker(r, w) }
 
 // LoadScenario reads a JSON scenario.
 func LoadScenario(r io.Reader) (Scenario, error) { return scenario.Load(r) }

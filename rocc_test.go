@@ -165,3 +165,31 @@ func TestModelInspection(t *testing.T) {
 		t.Fatalf("duration %v", res.DurationSec)
 	}
 }
+
+func TestPublicAPISweepDistributed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 0.5e6
+	cfg.Nodes = 2
+	jobs := []SweepJob{
+		{Spec: ScenarioOf(cfg), Seed: 42},
+		{Spec: ScenarioOf(cfg), Seed: 43},
+	}
+	got, err := SweepDistributed(jobs, SweepDistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	cfg.Seed = 42
+	want, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want {
+		t.Fatal("SweepDistributed job 0 diverges from Simulate at the same seed")
+	}
+	if got[1] == want {
+		t.Fatal("distinct seeds produced identical results")
+	}
+}
