@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -30,9 +31,10 @@ func readPerf(path string) (perfReport, error) {
 }
 
 // comparePerf checks a current perf record against a committed baseline:
-// every baseline experiment must be present, and neither ns/op nor
-// allocs/op may exceed its tolerance band. Returns an error listing every
-// violation (the CI regression gate).
+// the two records must cover the same experiment set (an ID present in
+// only one file is reported by name, whichever side it is missing from),
+// and neither ns/op nor allocs/op may exceed its tolerance band. Returns
+// an error listing every violation (the CI regression gate).
 func comparePerf(curPath, basePath string) error {
 	cur, err := readPerf(curPath)
 	if err != nil {
@@ -42,22 +44,42 @@ func comparePerf(curPath, basePath string) error {
 	if err != nil {
 		return err
 	}
+	violations, err := diffPerf(cur, base, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "roccbench: "+v)
+		}
+		return fmt.Errorf("%d perf violation(s) vs %s", len(violations), basePath)
+	}
+	return nil
+}
+
+// diffPerf compares two loaded perf records, printing the per-experiment
+// ratio table to w and returning one line per violation: tolerance-band
+// regressions, plus experiments present in one record but missing from
+// the other (in each record's own order).
+func diffPerf(cur, base perfReport, w io.Writer) ([]string, error) {
 	if cur.SchemaVersion != base.SchemaVersion {
-		return fmt.Errorf("schema mismatch: current v%d, baseline v%d", cur.SchemaVersion, base.SchemaVersion)
+		return nil, fmt.Errorf("schema mismatch: current v%d, baseline v%d", cur.SchemaVersion, base.SchemaVersion)
 	}
 	if cur.DurationUS != base.DurationUS || cur.Reps != base.Reps || cur.Seed != base.Seed {
-		return fmt.Errorf("config mismatch: current (dur=%v reps=%d seed=%d) vs baseline (dur=%v reps=%d seed=%d) — records are not comparable",
+		return nil, fmt.Errorf("config mismatch: current (dur=%v reps=%d seed=%d) vs baseline (dur=%v reps=%d seed=%d) — records are not comparable",
 			cur.DurationUS, cur.Reps, cur.Seed, base.DurationUS, base.Reps, base.Seed)
 	}
 	byID := map[string]perfRecord{}
 	for _, r := range cur.Experiments {
 		byID[r.ID] = r
 	}
+	baseIDs := map[string]bool{}
 	var violations []string
 	for _, b := range base.Experiments {
+		baseIDs[b.ID] = true
 		c, ok := byID[b.ID]
 		if !ok {
-			violations = append(violations, fmt.Sprintf("%s: missing from current record", b.ID))
+			violations = append(violations, fmt.Sprintf("%s: in baseline but missing from current record", b.ID))
 			continue
 		}
 		nsRatio := ratio(float64(c.SerialNsOp), float64(b.SerialNsOp))
@@ -75,17 +97,18 @@ func comparePerf(curPath, basePath string) error {
 				"%s: allocs/op %d vs baseline %d (%.2fx > %.1fx band)",
 				b.ID, c.AllocsPerOp, b.AllocsPerOp, allocRatio, allocTolerance))
 		}
-		fmt.Printf("%-22s ns/op %.2fx  allocs/op %.2fx  %s\n", b.ID, nsRatio, allocRatio, status)
+		fmt.Fprintf(w, "%-22s ns/op %.2fx  allocs/op %.2fx  %s\n", b.ID, nsRatio, allocRatio, status)
 	}
-	if len(violations) > 0 {
-		for _, v := range violations {
-			fmt.Fprintln(os.Stderr, "roccbench: "+v)
+	for _, c := range cur.Experiments {
+		if !baseIDs[c.ID] {
+			violations = append(violations, fmt.Sprintf("%s: in current record but missing from baseline", c.ID))
 		}
-		return fmt.Errorf("%d perf regression(s) vs %s", len(violations), basePath)
 	}
-	fmt.Printf("all %d experiments within tolerance (ns/op %.1fx, allocs/op %.1fx)\n",
-		len(base.Experiments), nsTolerance, allocTolerance)
-	return nil
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "all %d experiments within tolerance (ns/op %.1fx, allocs/op %.1fx)\n",
+			len(base.Experiments), nsTolerance, allocTolerance)
+	}
+	return violations, nil
 }
 
 // ratio is current/baseline, treating a zero baseline as no change.

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func perfWith(recs ...perfRecord) perfReport {
+	return perfReport{
+		SchemaVersion: 1,
+		Seed:          1,
+		DurationUS:    2e6,
+		Reps:          3,
+		Experiments:   recs,
+	}
+}
+
+func rec(id string, ns int64, allocs uint64) perfRecord {
+	return perfRecord{ID: id, SerialNsOp: ns, AllocsPerOp: allocs}
+}
+
+// Identical records compare clean.
+func TestDiffPerfClean(t *testing.T) {
+	base := perfWith(rec("table4", 1000, 100), rec("fig16", 2000, 200))
+	violations, err := diffPerf(base, base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("identical records produced violations: %v", violations)
+	}
+}
+
+// IDs present in only one record are violations naming the missing side:
+// baseline-only IDs as missing from current, current-only IDs as missing
+// from baseline. Both directions must be reported in one pass.
+func TestDiffPerfReportsMissingIDsBothWays(t *testing.T) {
+	cur := perfWith(rec("table4", 1000, 100), rec("fig99", 10, 1))
+	base := perfWith(rec("table4", 1000, 100), rec("fig16", 2000, 200))
+	violations, err := diffPerf(cur, base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("want 2 violations, got %d: %v", len(violations), violations)
+	}
+	joined := strings.Join(violations, "\n")
+	if !strings.Contains(joined, "fig16: in baseline but missing from current record") {
+		t.Errorf("baseline-only id not reported: %v", violations)
+	}
+	if !strings.Contains(joined, "fig99: in current record but missing from baseline") {
+		t.Errorf("current-only id not reported: %v", violations)
+	}
+}
+
+// Tolerance bands: ns/op has the loose wall-clock band, allocs/op the
+// tight deterministic one. A value just inside passes; just outside fails.
+func TestDiffPerfToleranceBands(t *testing.T) {
+	base := perfWith(rec("table4", 1000, 100))
+
+	ok := perfWith(rec("table4", int64(1000*nsTolerance), uint64(100*allocTolerance)))
+	violations, err := diffPerf(ok, base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("at-band record should pass, got: %v", violations)
+	}
+
+	bad := perfWith(rec("table4", int64(1000*nsTolerance)+1, uint64(100*allocTolerance)+1))
+	violations, err = diffPerf(bad, base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("want ns and alloc regressions, got: %v", violations)
+	}
+}
+
+// Records measured under different configs refuse to compare at all.
+func TestDiffPerfConfigMismatch(t *testing.T) {
+	cur := perfWith(rec("table4", 1000, 100))
+	cur.Reps = 50
+	if _, err := diffPerf(cur, perfWith(rec("table4", 1000, 100)), io.Discard); err == nil {
+		t.Fatal("config mismatch not rejected")
+	}
+	cur = perfWith(rec("table4", 1000, 100))
+	cur.SchemaVersion = 2
+	if _, err := diffPerf(cur, perfWith(rec("table4", 1000, 100)), io.Discard); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rocc/internal/cli"
+	"rocc/internal/des"
 	"rocc/internal/dist"
 	"rocc/internal/experiments"
 )
@@ -53,6 +54,7 @@ func main() {
 		parallel  = cli.Parallel(flag.CommandLine)
 		jsonOut   = cli.JSON(flag.CommandLine)
 		outPath   = cli.Out(flag.CommandLine)
+		calName   = flag.String("calendar", "auto", "event calendar: auto, heap, bucket, list (results identical; perf only)")
 		compare   = flag.String("compare", "", "check this -json perf record against -baseline and exit")
 		baseline  = flag.String("baseline", "", "baseline perf record for -compare")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
@@ -134,6 +136,12 @@ func main() {
 	}
 	opt.Parallel = *parallel
 	opt.DistWorkers = *distN
+	cal, err := des.ParseCalendarKind(*calName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roccbench:", err)
+		os.Exit(2)
+	}
+	opt.Calendar = cal
 
 	if *jsonOut {
 		ids := expandIDs(*exp)

@@ -25,6 +25,7 @@ import (
 
 	"rocc/internal/cli"
 	"rocc/internal/core"
+	"rocc/internal/des"
 	"rocc/internal/forward"
 	"rocc/internal/obs"
 	"rocc/internal/report"
@@ -62,14 +63,20 @@ func main() {
 		execTr   = flag.String("exectrace", "", "write a Go runtime execution trace")
 		logDest  = flag.String("log", "", "write structured run logs to this file (\"-\" = stderr)")
 		logLevel = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+		calName  = flag.String("calendar", "auto", "event calendar: auto, heap, bucket, list (results identical; perf only)")
 	)
 	flag.Parse()
+
+	calKind, err := des.ParseCalendarKind(*calName)
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	stopProf := startProfiling(*cpuProf, *execTr)
 	logger := openLogger(*logDest, *logLevel)
 
 	if *cfgIn != "" {
-		runFromFile(*cfgIn, *reps, *parallel, *jsonOut, *outPath)
+		runFromFile(*cfgIn, calKind, *reps, *parallel, *jsonOut, *outPath)
 		stopProf()
 		writeMemProfile(*memProf)
 		return
@@ -114,6 +121,7 @@ func main() {
 	cfg.BarrierPeriod = *barrier * 1000
 	cfg.Background = !*noBg
 	cfg.Warmup = *warmup * 1e6
+	cfg.Calendar = calKind
 	if *commApp {
 		cfg.Workload = core.CommIntensive.Apply(core.DefaultWorkload())
 	}
@@ -349,7 +357,9 @@ func printResult(w io.Writer, cfg core.Config, rep core.Replicated, reps int) er
 }
 
 // runFromFile loads a JSON scenario, runs it, and prints the metrics.
-func runFromFile(path string, reps, parallel int, asJSON bool, outPath string) {
+// The calendar kind comes from the -calendar flag: scenarios never carry
+// it (it cannot change results), so the CLI choice applies here too.
+func runFromFile(path string, cal des.CalendarKind, reps, parallel int, asJSON bool, outPath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -363,6 +373,7 @@ func runFromFile(path string, reps, parallel int, asJSON bool, outPath string) {
 	if err != nil {
 		fatal("%v", err)
 	}
+	cfg.Calendar = cal
 	rep, err := core.RunReplicationsParallel(cfg, reps, parallel)
 	if err != nil {
 		fatal("%v", err)

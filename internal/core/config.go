@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rocc/internal/des"
 	"rocc/internal/faults"
 	"rocc/internal/forward"
 	"rocc/internal/resources"
@@ -226,6 +227,13 @@ type Config struct {
 	// Background enables the PVM daemon and other user/system processes.
 	Background bool
 
+	// Calendar selects the future-event-list implementation. The zero
+	// value (CalendarAuto) picks heap or calendar-queue from the expected
+	// pending-event population; all kinds produce byte-identical results
+	// (proven by the calendar equivalence tests), so this is purely a
+	// performance knob.
+	Calendar des.CalendarKind
+
 	Seed     uint64
 	Workload Workload
 	Cost     forward.CostModel
@@ -368,6 +376,29 @@ func (c Config) Validate() (Config, error) {
 		c.MainThreads.UICPU = rng.Exponential{MeanVal: 2000}
 	}
 	return c, nil
+}
+
+// expectedPending estimates the steady-state future-event-list population
+// for des.NewCalendarFor's auto-selection: every application process keeps
+// one or two timers in flight (a burst completion plus a sampling or
+// barrier tick), each daemon a flush timer, each background source an
+// arrival timer, plus slack for in-flight network transfers and fault
+// machinery. An estimate is all that's needed — the calendar choice only
+// moves performance, never results.
+func (c Config) expectedPending() int {
+	apps := c.AppProcs
+	if c.Arch != SMP {
+		apps *= c.Nodes
+	}
+	pds := c.Pds
+	if c.Arch != SMP {
+		pds *= c.Nodes
+	}
+	n := 2*apps + pds + 8
+	if c.Background {
+		n += 2 * c.Nodes // PVM daemon + other-process sources per node
+	}
+	return n
 }
 
 // contended resolves the network discipline for the architecture.

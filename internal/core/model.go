@@ -72,7 +72,8 @@ func New(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Cfg: cfg, Sim: des.New()}
+	cal := des.NewCalendarFor(cfg.Calendar, des.WorkloadHints{PendingEvents: cfg.expectedPending()})
+	m := &Model{Cfg: cfg, Sim: des.NewWithCalendar(cal)}
 	master := rng.New(cfg.Seed)
 	m.master = master
 

@@ -1,0 +1,253 @@
+package des
+
+// BucketCalendar is a calendar-queue future event list (Brown 1988, the
+// structure behind PARSIR-style O(1) schedulers): events hash into
+// time-ordered buckets of width `width`, and the dequeue scan walks the
+// buckets of the current "year" in order. Push and Pop are O(1) amortized —
+// the self-resizing policy keeps the average bucket near one pending event —
+// while the binary heap pays O(log n) per operation plus a cache-hostile
+// sift on every mutation.
+//
+// The calendar preserves the engine's exact total order: events pop in
+// strictly increasing (time, seq), byte-identical to HeapCalendar (proven by
+// TestCalendarEquivalence, FuzzCalendarDifferential, and the core-level
+// differential tests). Cancel semantics are untouched — cancellation is a
+// flag the Simulator checks at dispatch; canceled events flow through the
+// buckets like any other.
+//
+// Storage is recycled: buckets are slices whose backing arrays survive
+// pops (elements are nil'd, length truncated), so steady-state Push/Pop
+// allocates nothing once bucket capacity has warmed up — the same contract
+// the Simulator's event free list provides for Event structs. A resize
+// keeps the previous bucket array as a spare so grow/shrink oscillation
+// does not thrash the allocator.
+type BucketCalendar struct {
+	buckets [][]*Event
+	mask    int64   // len(buckets)-1; bucket count is a power of two
+	width   float64 // microseconds of simulated time per bucket
+	n       int
+
+	// cur is the dequeue scan position as a *virtual* bucket index
+	// (floor(time/width), not reduced modulo the bucket count). Invariant:
+	// cur <= bslot(e) for every queued event e, maintained by pulling cur
+	// back on Push. Using the integer virtual index for the qualification
+	// test (head.bslot <= cur) instead of a float bucket-top comparison
+	// removes any chance of rounding disagreement between the Push mapping
+	// and the Pop window.
+	cur int64
+
+	// peeked caches the minimum event located by Peek so the Pop that
+	// Simulator.Run issues right after costs O(1). Invalidated by resize
+	// and by removal; a Push that beats the cached minimum replaces it
+	// (the new event is necessarily its bucket's head).
+	peeked *Event
+
+	// spare retains the bucket array released by the last resize so the
+	// next resize to that size reuses it instead of reallocating.
+	spare [][]*Event
+}
+
+const (
+	// minBucketCount is the smallest bucket array; small populations
+	// shouldn't pay year-scan overhead over more than a handful of slots.
+	minBucketCount = 16
+	// initialBucketWidth (µs) only matters until the first resize
+	// recalibrates from the observed event span; 256 µs suits the ROCC
+	// model's sub-millisecond burst scale.
+	initialBucketWidth = 256
+	// minBucketWidth guards the virtual index against float blowup from a
+	// degenerate gap estimate (sub-nanosecond at microsecond time units).
+	minBucketWidth = 1e-9
+	// widthSample is how many head events the resize samples to estimate
+	// local event density (Brown's newwidth rule): the bucket width follows
+	// the average gap near the head of the queue, not the global span, so a
+	// far-future tail cannot widen buckets under a dense near-term cluster.
+	widthSample = 32
+)
+
+// NewBucketCalendar returns an empty calendar queue.
+func NewBucketCalendar() *BucketCalendar {
+	return &BucketCalendar{
+		buckets: make([][]*Event, minBucketCount),
+		mask:    minBucketCount - 1,
+		width:   initialBucketWidth,
+	}
+}
+
+// Len implements Calendar.
+func (c *BucketCalendar) Len() int { return c.n }
+
+// eventAfter reports whether a sorts after b in (time, seq) order.
+func eventAfter(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time > b.time
+	}
+	return a.seq > b.seq
+}
+
+// Push implements Calendar.
+func (c *BucketCalendar) Push(e *Event) {
+	vb := int64(e.time / c.width)
+	e.bslot = vb
+	if c.n == 0 || vb < c.cur {
+		// Keep the scan invariant (cur <= every queued bslot). An empty
+		// calendar jumps forward too, so a sparse schedule doesn't force
+		// the next Pop to scan from a long-gone year.
+		c.cur = vb
+	}
+	c.insert(e)
+	c.n++
+	if c.peeked != nil && eventAfter(c.peeked, e) {
+		c.peeked = e
+	}
+	if c.n > 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+}
+
+// insert places e into its bucket keeping (time, seq) order, scanning from
+// the tail: schedules are mostly time-increasing, so the common case is a
+// plain append.
+func (c *BucketCalendar) insert(e *Event) {
+	idx := e.bslot & c.mask
+	b := append(c.buckets[idx], e)
+	i := len(b) - 1
+	for i > 0 && eventAfter(b[i-1], e) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = e
+	c.buckets[idx] = b
+}
+
+// Peek implements Calendar: the next event without removing it.
+func (c *BucketCalendar) Peek() *Event { return c.locateMin() }
+
+// Pop implements Calendar.
+func (c *BucketCalendar) Pop() *Event {
+	e := c.locateMin()
+	if e == nil {
+		return nil
+	}
+	c.removeHead(e)
+	return e
+}
+
+// locateMin finds (and caches) the earliest queued event. The year scan
+// starts at cur and visits each bucket at most once; a bucket's head is its
+// minimum, and the head qualifies when its virtual index has been reached.
+// If a whole year turns up nothing the queue is sparse relative to the
+// bucket width, so one direct O(buckets) search finds the minimum and the
+// scan position jumps straight to it.
+func (c *BucketCalendar) locateMin() *Event {
+	if c.n == 0 {
+		return nil
+	}
+	if c.peeked != nil {
+		return c.peeked
+	}
+	for i := 0; i < len(c.buckets); i++ {
+		b := c.buckets[c.cur&c.mask]
+		if len(b) > 0 && b[0].bslot <= c.cur {
+			c.peeked = b[0]
+			return b[0]
+		}
+		c.cur++
+	}
+	var min *Event
+	for _, b := range c.buckets {
+		if len(b) > 0 && (min == nil || eventAfter(min, b[0])) {
+			min = b[0]
+		}
+	}
+	c.cur = min.bslot
+	c.peeked = min
+	return min
+}
+
+// removeHead detaches e, which locateMin guarantees is the head of its
+// bucket. The vacated tail slot is nil'd so truncated bucket storage never
+// pins recycled events.
+func (c *BucketCalendar) removeHead(e *Event) {
+	idx := e.bslot & c.mask
+	b := c.buckets[idx]
+	copy(b, b[1:])
+	b[len(b)-1] = nil
+	c.buckets[idx] = b[:len(b)-1]
+	c.n--
+	c.peeked = nil
+	e.index = -1
+	if len(c.buckets) > minBucketCount && c.n < len(c.buckets)/2 {
+		c.resize(len(c.buckets) / 2)
+	}
+}
+
+// resize rebuilds the calendar with nb buckets (a power of two) and a
+// width recalibrated to three times the average inter-event gap among the
+// widthSample earliest queued events — Brown's rule of thumb, applied to
+// the head of the queue. Sampling head density rather than the global
+// span keeps the current year's buckets near one event each even when a
+// sparse far-future tail coexists with a dense near-term cluster (burst
+// and bimodal schedules); tail events just wrap modulo the bucket count
+// and fail the year-scan qualification test until their year arrives.
+func (c *BucketCalendar) resize(nb int) {
+	old := c.buckets
+
+	// head collects the widthSample smallest event times, sorted ascending
+	// (insertion into a fixed array; the common case rejects in one
+	// comparison against the current worst).
+	var head [widthSample]float64
+	hn := 0
+	for _, b := range old {
+		for _, e := range b {
+			if hn == len(head) && e.time >= head[hn-1] {
+				continue
+			}
+			i := hn
+			if hn < len(head) {
+				hn++
+			} else {
+				i--
+			}
+			for i > 0 && head[i-1] > e.time {
+				head[i] = head[i-1]
+				i--
+			}
+			head[i] = e.time
+		}
+	}
+	minT := 0.0
+	if hn > 0 {
+		minT = head[0]
+	}
+	if hn > 1 {
+		if span := head[hn-1] - head[0]; span > 0 {
+			w := 3 * span / float64(hn-1)
+			if w < minBucketWidth {
+				w = minBucketWidth
+			}
+			c.width = w
+		}
+	}
+
+	if len(c.spare) == nb {
+		c.buckets, c.spare = c.spare, nil
+	} else {
+		c.buckets = make([][]*Event, nb)
+	}
+	c.mask = int64(nb - 1)
+	c.peeked = nil
+	c.cur = int64(minT / c.width)
+
+	for _, b := range old {
+		for _, e := range b {
+			e.bslot = int64(e.time / c.width)
+			c.insert(e)
+		}
+		clear(b)
+	}
+	for i := range old {
+		old[i] = old[i][:0]
+	}
+	c.spare = old
+}

@@ -32,7 +32,8 @@ type Event struct {
 	fn       func()
 	canceled bool
 	fired    bool
-	index    int // heap index; -1 when not queued
+	index    int   // heap index; -1 when not queued
+	bslot    int64 // virtual bucket index while queued in a BucketCalendar
 }
 
 // Time returns the simulated time at which the event fires.
@@ -55,9 +56,11 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Fired reports whether the event's callback has run.
 func (e *Event) Fired() bool { return e.fired }
 
-// Calendar is a future event list. Two implementations are provided: a
-// binary heap (the default) and a sorted doubly-linked list (kept for the
-// event-queue ablation benchmark).
+// Calendar is a future event list. Three implementations are provided: a
+// binary heap (the New default), a calendar queue (BucketCalendar, the
+// O(1)-amortized choice NewCalendarFor makes for non-trivial populations),
+// and a sorted doubly-linked list (kept for the event-queue ablation
+// benchmark). All three pop in identical (time, seq) order.
 type Calendar interface {
 	Push(*Event)
 	Pop() *Event  // next event in (time, seq) order, nil when empty

@@ -27,7 +27,7 @@ func TestScheduleOrder(t *testing.T) {
 }
 
 func TestFIFOAtEqualTimes(t *testing.T) {
-	for _, cal := range []Calendar{NewHeapCalendar(), NewListCalendar()} {
+	for _, cal := range []Calendar{NewHeapCalendar(), NewListCalendar(), NewBucketCalendar()} {
 		s := NewWithCalendar(cal)
 		var got []int
 		for i := 0; i < 10; i++ {
@@ -156,13 +156,15 @@ func TestCalendarEquivalence(t *testing.T) {
 		return got
 	}
 	a := run(NewHeapCalendar())
-	b := run(NewListCalendar())
-	if len(a) != len(b) {
-		t.Fatalf("dispatch counts differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("dispatch %d differs: %v vs %v", i, a[i], b[i])
+	for _, other := range []Calendar{NewListCalendar(), NewBucketCalendar()} {
+		b := run(other)
+		if len(a) != len(b) {
+			t.Fatalf("%T: dispatch counts differ: %d vs %d", other, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%T: dispatch %d differs: %v vs %v", other, i, a[i], b[i])
+			}
 		}
 	}
 }
@@ -174,6 +176,7 @@ func TestQuickCalendarsSorted(t *testing.T) {
 		for _, mk := range []func() Calendar{
 			func() Calendar { return NewHeapCalendar() },
 			func() Calendar { return NewListCalendar() },
+			func() Calendar { return NewBucketCalendar() },
 		} {
 			cal := mk()
 			r := rng.New(seed)
@@ -254,6 +257,32 @@ func BenchmarkHeapCalendar(b *testing.B) {
 func BenchmarkListCalendar(b *testing.B) {
 	benchCalendar(b, func() Calendar { return NewListCalendar() })
 }
+func BenchmarkBucketCalendar(b *testing.B) {
+	benchCalendar(b, func() Calendar { return NewBucketCalendar() })
+}
+
+// The bucket calendar must uphold the same steady-state zero-alloc
+// guarantee as the heap: once bucket storage has warmed up, Push/Pop
+// recycle backing arrays instead of allocating.
+func TestBucketSteadyStateDoesNotAllocate(t *testing.T) {
+	s := NewWithCalendar(NewBucketCalendar())
+	r := rng.New(9)
+	for i := 0; i < 256; i++ {
+		var rec func()
+		rec = func() { s.Schedule(r.Exp(100), rec) }
+		s.Schedule(r.Exp(100), rec)
+	}
+	// Warm up: let resizes settle and bucket capacity grow.
+	for i := 0; i < 10000; i++ {
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state bucket Step allocated %.2f objects per event", allocs)
+	}
+}
 
 // Regression (cancellation hygiene): canceling an event that has already
 // fired must be a no-op that leaves the event marked fired (not canceled)
@@ -263,6 +292,7 @@ func TestCancelAfterFireAndCancelTwice(t *testing.T) {
 	for _, mk := range []func() Calendar{
 		func() Calendar { return NewHeapCalendar() },
 		func() Calendar { return NewListCalendar() },
+		func() Calendar { return NewBucketCalendar() },
 	} {
 		cal := mk()
 		s := NewWithCalendar(cal)
@@ -305,6 +335,7 @@ func TestRunBoundaryWithCanceledHead(t *testing.T) {
 	for _, mk := range []func() Calendar{
 		func() Calendar { return NewHeapCalendar() },
 		func() Calendar { return NewListCalendar() },
+		func() Calendar { return NewBucketCalendar() },
 	} {
 		s := NewWithCalendar(mk())
 		fired := 0

@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"rocc/internal/des"
 )
 
 // Options scales the experiments.
@@ -41,6 +43,12 @@ type Options struct {
 	// (internal/dist) instead of in-process goroutines. The seed chain is
 	// shared with the local path, so output stays byte-identical.
 	DistWorkers int
+	// Calendar overrides the simulator's future-event-list implementation
+	// for every local run (roccbench/roccsim -calendar). Purely a
+	// performance knob: results are byte-identical for every kind, so
+	// distributed workers — which always run the auto selection — stay
+	// output-compatible regardless of this setting.
+	Calendar des.CalendarKind
 }
 
 // Default returns the fast default scaling.

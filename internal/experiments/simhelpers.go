@@ -41,6 +41,7 @@ type simVariant struct {
 // runOne runs a single replication of cfg at the option scale.
 func runOne(cfg core.Config, opt Options) (core.Result, error) {
 	cfg.Duration = opt.DurationUS
+	cfg.Calendar = opt.Calendar
 	if cfg.Seed == 0 {
 		cfg.Seed = opt.Seed
 	}
@@ -150,6 +151,7 @@ func runFactorial(rows []factorialRow, opt Options, overhead, latency core.Metri
 	for i, row := range rows {
 		cfg := row.cfg
 		cfg.Duration = opt.DurationUS
+		cfg.Calendar = opt.Calendar
 		for _, seed := range core.FactorialReplicationSeeds(opt.Seed, i, reps) {
 			c := cfg
 			c.Seed = seed

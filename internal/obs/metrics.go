@@ -41,6 +41,13 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+
+	// staged batches observations in a flat preallocated buffer
+	// (EnableStaging) flushed into the buckets when full or when any
+	// accessor needs the totals. Merging observations is commutative, so
+	// flush timing can never change a reported value — staging only
+	// moves the bucket-scan cost off the per-event hot path.
+	staged []float64
 }
 
 // NewHistogram returns a histogram over the given ascending bucket bounds.
@@ -74,8 +81,21 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
-// Observe records one value.
+// Observe records one value. With staging enabled (EnableStaging) the
+// value lands in the flat batch buffer; the bucket scan happens at flush.
 func (h *Histogram) Observe(v float64) {
+	if cap(h.staged) > 0 {
+		h.staged = append(h.staged, v)
+		if len(h.staged) == cap(h.staged) {
+			h.flush()
+		}
+		return
+	}
+	h.observe(v)
+}
+
+// observe merges one value into the buckets.
+func (h *Histogram) observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -91,11 +111,36 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// EnableStaging batches observations in a preallocated buffer of the
+// given capacity, flushed when full and whenever an accessor runs. Size
+// it to the expected observations per reporting period — the run's
+// duration/period geometry — so the flush cadence tracks the sampling
+// period.
+func (h *Histogram) EnableStaging(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	h.flush()
+	h.staged = make([]float64, 0, capacity)
+}
+
+// flush merges staged observations into the buckets.
+func (h *Histogram) flush() {
+	for _, v := range h.staged {
+		h.observe(v)
+	}
+	h.staged = h.staged[:0]
+}
+
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 {
+	h.flush()
+	return h.total
+}
 
 // Mean returns the exact mean of all observations (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.flush()
 	if h.total == 0 {
 		return 0
 	}
@@ -104,6 +149,7 @@ func (h *Histogram) Mean() float64 {
 
 // Min returns the smallest observation (0 when empty).
 func (h *Histogram) Min() float64 {
+	h.flush()
 	if h.total == 0 {
 		return 0
 	}
@@ -112,6 +158,7 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the largest observation (0 when empty).
 func (h *Histogram) Max() float64 {
+	h.flush()
 	if h.total == 0 {
 		return 0
 	}
@@ -124,6 +171,7 @@ func (h *Histogram) Max() float64 {
 // clamped to the observed [Min, Max], which also gives exact answers for
 // the overflow bucket and single-bucket edge cases. Returns 0 when empty.
 func (h *Histogram) Quantile(p float64) float64 {
+	h.flush()
 	if h.total == 0 {
 		return 0
 	}
@@ -162,8 +210,10 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.max
 }
 
-// reset zeroes the histogram in place.
+// reset zeroes the histogram in place, discarding staged observations too
+// (they were recorded before the reset point).
 func (h *Histogram) reset() {
+	h.staged = h.staged[:0]
 	for i := range h.counts {
 		h.counts[i] = 0
 	}
@@ -257,6 +307,21 @@ type Sampler struct {
 	interval float64
 	probes   []probe
 	stopped  bool
+
+	// expect is the tick-count capacity hint for new probe series
+	// (SetExpectedTicks); tickFn is the reusable reschedule closure
+	// (a method value would allocate at every tick).
+	expect int
+	tickFn func()
+}
+
+// SetExpectedTicks sizes the T/V slices of subsequently registered probes
+// for n ticks, so a run of known length appends without growth. Callers
+// derive n from the run geometry: (warmup+duration)/interval, plus slack.
+func (s *Sampler) SetExpectedTicks(n int) {
+	if n > 0 {
+		s.expect = n
+	}
 }
 
 type probe struct {
@@ -278,6 +343,10 @@ func NewSampler(sim *des.Simulator, interval float64) *Sampler {
 // and is also appended to the registry m (when m is non-nil).
 func (s *Sampler) Probe(m *Metrics, name string, read func(tUS float64) float64) *Series {
 	ser := &Series{Name: name}
+	if s.expect > 0 {
+		ser.T = make([]float64, 0, s.expect)
+		ser.V = make([]float64, 0, s.expect)
+	}
 	s.probes = append(s.probes, probe{series: ser, read: read})
 	if m != nil {
 		m.series = append(m.series, ser)
@@ -287,7 +356,10 @@ func (s *Sampler) Probe(m *Metrics, name string, read func(tUS float64) float64)
 
 // Start schedules the first tick. Call once, after all probes are
 // registered.
-func (s *Sampler) Start() { s.sim.Schedule(s.interval, s.tick) }
+func (s *Sampler) Start() {
+	s.tickFn = s.tick
+	s.sim.Schedule(s.interval, s.tickFn)
+}
 
 // Stop halts sampling after the current tick.
 func (s *Sampler) Stop() { s.stopped = true }
@@ -301,5 +373,5 @@ func (s *Sampler) tick() {
 		p.series.T = append(p.series.T, t)
 		p.series.V = append(p.series.V, p.read(t))
 	}
-	s.sim.Schedule(s.interval, s.tick)
+	s.sim.Schedule(s.interval, s.tickFn)
 }

@@ -104,6 +104,62 @@ type AppProcess struct {
 	// Generated it is never reset, so (Node, ID, Seq) stays a unique
 	// sample identity across the warmup boundary.
 	sampleSeq int
+
+	// The process loop is strictly sequential — at most one CPU request,
+	// one network request, one pipe write, and one barrier wait are
+	// outstanding at any time — so its continuations are allocated once
+	// (initFns) and the current burst lengths live in curCPU/curNet
+	// instead of being captured by per-iteration closures.
+	curCPU, curNet float64
+	cpuDone        func() // Computation burst served → issue Communication
+	netDone        func() // Communication served → end of iteration
+	tickFn         func() // = sampleTick (method values allocate per use)
+	mbtsFn         func() // = maybeBarrierThenStep
+	unblockTick    func() // blocked timer-driven write accepted
+	unblockEmit    func() // blocked event-trace write accepted
+	barrierResume  func() // barrier opened
+}
+
+// initFns binds the loop's reusable continuations; idempotent so spawned
+// processes started mid-run get them too.
+func (a *AppProcess) initFns() {
+	if a.cpuDone != nil {
+		return
+	}
+	a.cpuDone = func() {
+		a.workSinceBarrier += a.curCPU
+		a.workSinceSpawn += a.curCPU
+		a.curNet = a.NetDist.Sample(a.R)
+		a.Net.Submit(OwnerApp, a.curNet, a.netDone)
+	}
+	a.netDone = func() {
+		a.workSinceBarrier += a.curNet
+		a.workSinceSpawn += a.curNet
+		a.Iterations++
+		a.afterIteration()
+	}
+	a.tickFn = a.sampleTick
+	a.mbtsFn = a.maybeBarrierThenStep
+	a.unblockTick = func() {
+		// Space freed: the write completes and the process resumes.
+		a.blocked = false
+		if a.paused {
+			a.step()
+		}
+		a.Sim.Schedule(a.SamplingPeriod, a.tickFn)
+	}
+	a.unblockEmit = func() {
+		a.blocked = false
+		if a.paused {
+			a.maybeBarrierThenStep()
+		}
+	}
+	a.barrierResume = func() {
+		a.atBarrier = false
+		if a.paused {
+			a.step()
+		}
+	}
 }
 
 // ResetAccounting clears the process's metric counters; used for warmup
@@ -127,9 +183,10 @@ func (a *AppProcess) AtBarrier() bool { return a.atBarrier }
 // Start launches the process loop and, if sampling is enabled, the
 // sampling timer.
 func (a *AppProcess) Start() {
+	a.initFns()
 	a.step()
 	if a.SamplingPeriod > 0 {
-		a.Sim.Schedule(a.SamplingPeriod, a.sampleTick)
+		a.Sim.Schedule(a.SamplingPeriod, a.tickFn)
 	}
 }
 
@@ -140,18 +197,8 @@ func (a *AppProcess) step() {
 		return
 	}
 	a.paused = false
-	cpuLen := a.CPUDist.Sample(a.R)
-	a.CPU.Submit(OwnerApp, cpuLen, func() {
-		a.workSinceBarrier += cpuLen
-		a.workSinceSpawn += cpuLen
-		netLen := a.NetDist.Sample(a.R)
-		a.Net.Submit(OwnerApp, netLen, func() {
-			a.workSinceBarrier += netLen
-			a.workSinceSpawn += netLen
-			a.Iterations++
-			a.afterIteration()
-		})
-	})
+	a.curCPU = a.CPUDist.Sample(a.R)
+	a.CPU.Submit(OwnerApp, a.curCPU, a.cpuDone)
 }
 
 // afterIteration handles the detailed-model transitions of Figure 6 that
@@ -172,7 +219,7 @@ func (a *AppProcess) afterIteration() {
 	}
 	if a.IOProb > 0 && a.IOBlock != nil && a.R.Bernoulli(a.IOProb) {
 		a.IOBlocks++
-		a.Sim.Schedule(a.IOBlock.Sample(a.R), a.maybeBarrierThenStep)
+		a.Sim.Schedule(a.IOBlock.Sample(a.R), a.mbtsFn)
 		return
 	}
 	a.maybeBarrierThenStep()
@@ -183,12 +230,7 @@ func (a *AppProcess) afterIteration() {
 // timer-driven path.
 func (a *AppProcess) emitSample() {
 	s := a.newSample()
-	accepted := a.Pipe.Put(s, func() {
-		a.blocked = false
-		if a.paused {
-			a.maybeBarrierThenStep()
-		}
-	})
+	accepted := a.Pipe.Put(s, a.unblockEmit)
 	if !accepted {
 		a.blocked = true
 		a.BlockedPuts++
@@ -211,12 +253,7 @@ func (a *AppProcess) maybeBarrierThenStep() {
 	if a.Barrier != nil && a.BarrierPeriod > 0 && a.workSinceBarrier >= a.BarrierPeriod {
 		a.workSinceBarrier = 0
 		a.atBarrier = true
-		a.Barrier.Arrive(func() {
-			a.atBarrier = false
-			if a.paused {
-				a.step()
-			}
-		})
+		a.Barrier.Arrive(a.barrierResume)
 		if a.atBarrier { // barrier did not open synchronously
 			a.paused = true
 			return
@@ -234,19 +271,12 @@ func (a *AppProcess) sampleTick() {
 		return
 	}
 	s := a.newSample()
-	accepted := a.Pipe.Put(s, func() {
-		// Space freed: the write completes and the process resumes.
-		a.blocked = false
-		if a.paused {
-			a.step()
-		}
-		a.Sim.Schedule(a.SamplingPeriod, a.sampleTick)
-	})
+	accepted := a.Pipe.Put(s, a.unblockTick)
 	if a.Obs != nil {
 		a.Obs.SampleGenerated(s.GenTime, s, !accepted)
 	}
 	if accepted {
-		a.Sim.Schedule(a.SamplingPeriod, a.sampleTick)
+		a.Sim.Schedule(a.SamplingPeriod, a.tickFn)
 		return
 	}
 	a.blocked = true

@@ -107,31 +107,43 @@ type OpenSource struct {
 	NetInterarrival rng.Dist // used only when !Chained
 
 	Arrivals int
+
+	// Reusable continuations (method values and the chained-completion
+	// hook allocate per use otherwise). chainNetFn samples the network
+	// demand at CPU-completion time, exactly as the inline closure it
+	// replaces did; it carries no per-arrival state, so overlapping
+	// chained arrivals share it safely.
+	cpuArrivalFn func()
+	netArrivalFn func()
+	chainNetFn   func()
 }
 
 // Start schedules the first arrival(s).
 func (o *OpenSource) Start() {
+	o.cpuArrivalFn = o.cpuArrival
+	o.netArrivalFn = o.netArrival
+	o.chainNetFn = func() {
+		o.Net.Submit(o.Owner, o.NetDist.Sample(o.R), nil)
+	}
 	if o.CPUInterarrival != nil {
-		o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrival)
+		o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrivalFn)
 	}
 	if !o.Chained && o.NetInterarrival != nil {
-		o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrival)
+		o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrivalFn)
 	}
 }
 
 func (o *OpenSource) cpuArrival() {
 	o.Arrivals++
 	if o.Chained {
-		o.CPU.Submit(o.Owner, o.CPUDist.Sample(o.R), func() {
-			o.Net.Submit(o.Owner, o.NetDist.Sample(o.R), nil)
-		})
+		o.CPU.Submit(o.Owner, o.CPUDist.Sample(o.R), o.chainNetFn)
 	} else {
 		o.CPU.Submit(o.Owner, o.CPUDist.Sample(o.R), nil)
 	}
-	o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrival)
+	o.Sim.Schedule(o.CPUInterarrival.Sample(o.R), o.cpuArrivalFn)
 }
 
 func (o *OpenSource) netArrival() {
 	o.Net.Submit(o.Owner, o.NetDist.Sample(o.R), nil)
-	o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrival)
+	o.Sim.Schedule(o.NetInterarrival.Sample(o.R), o.netArrivalFn)
 }

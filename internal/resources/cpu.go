@@ -32,8 +32,14 @@ type CPU struct {
 	ready   []*cpuReq
 	running int
 
-	busy      map[string]float64
+	busy      tally
 	busyTotal float64
+
+	// free recycles completed request records; each carries a fire
+	// closure bound once at allocation, so the per-slice hot path
+	// (Submit → dispatch → slice expiry) allocates nothing in steady
+	// state.
+	free []*cpuReq
 
 	// OnOccupancy, if set, observes every completed occupancy slice
 	// (owner, slice start time, slice length) — the hook the simulation
@@ -44,8 +50,14 @@ type CPU struct {
 type cpuReq struct {
 	owner     string
 	remaining float64
+	slice     float64 // current quantum slice, set by dispatch
 	onDone    func()
+	fire      func() // calls CPU.complete(this); bound once, reused forever
 }
+
+// maxReqFree caps the request free list (a burst of queued work must not
+// pin memory for the rest of a run).
+const maxReqFree = 1024
 
 // NewCPU returns a CPU with the given core count and scheduling quantum in
 // microseconds. It panics on non-positive arguments.
@@ -56,7 +68,7 @@ func NewCPU(sim *des.Simulator, cores int, quantum float64) *CPU {
 	if quantum <= 0 {
 		panic("resources: CPU quantum must be positive")
 	}
-	return &CPU{sim: sim, cores: cores, quantum: quantum, busy: make(map[string]float64)}
+	return &CPU{sim: sim, cores: cores, quantum: quantum}
 }
 
 // Submit enqueues a CPU occupancy request of the given length for owner.
@@ -72,7 +84,17 @@ func (c *CPU) Submit(owner string, length float64, onDone func()) {
 		}
 		return
 	}
-	c.ready = append(c.ready, &cpuReq{owner: owner, remaining: length, onDone: onDone})
+	var req *cpuReq
+	if n := len(c.free); n > 0 {
+		req = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		req.owner, req.remaining, req.onDone = owner, length, onDone
+	} else {
+		req = &cpuReq{owner: owner, remaining: length, onDone: onDone}
+		req.fire = func() { c.complete(req) }
+	}
+	c.ready = append(c.ready, req)
 	c.dispatch()
 }
 
@@ -85,24 +107,35 @@ func (c *CPU) dispatch() {
 		if slice > c.quantum {
 			slice = c.quantum
 		}
-		c.sim.Schedule(slice, func() {
-			c.busy[req.owner] += slice
-			c.busyTotal += slice
-			if c.OnOccupancy != nil {
-				c.OnOccupancy(req.owner, c.sim.Now()-slice, slice)
-			}
-			req.remaining -= slice
-			c.running--
-			if req.remaining <= epsilon {
-				if req.onDone != nil {
-					req.onDone()
-				}
-			} else {
-				c.ready = append(c.ready, req)
-			}
-			c.dispatch()
-		})
+		req.slice = slice
+		c.sim.Schedule(slice, req.fire)
 	}
+}
+
+// complete runs at a slice's expiry: account the slice, then finish the
+// request (recycling its record) or requeue its remainder.
+func (c *CPU) complete(req *cpuReq) {
+	slice := req.slice
+	c.busy.add(req.owner, slice)
+	c.busyTotal += slice
+	if c.OnOccupancy != nil {
+		c.OnOccupancy(req.owner, c.sim.Now()-slice, slice)
+	}
+	req.remaining -= slice
+	c.running--
+	if req.remaining <= epsilon {
+		done := req.onDone
+		req.onDone = nil
+		if len(c.free) < maxReqFree {
+			c.free = append(c.free, req)
+		}
+		if done != nil {
+			done()
+		}
+	} else {
+		c.ready = append(c.ready, req)
+	}
+	c.dispatch()
 }
 
 // QueueLen returns the number of requests waiting (not running).
@@ -113,7 +146,7 @@ func (c *CPU) Running() int { return c.running }
 
 // Busy returns accumulated occupancy time for an owner class, in
 // microseconds of CPU time.
-func (c *CPU) Busy(owner string) float64 { return c.busy[owner] }
+func (c *CPU) Busy(owner string) float64 { return c.busy.get(owner) }
 
 // BusyTotal returns accumulated occupancy across all owners.
 func (c *CPU) BusyTotal() float64 { return c.busyTotal }
@@ -121,18 +154,12 @@ func (c *CPU) BusyTotal() float64 { return c.busyTotal }
 // ResetAccounting clears occupancy accounting without disturbing queued or
 // running requests; used for warmup (initial-transient) removal.
 func (c *CPU) ResetAccounting() {
-	c.busy = make(map[string]float64)
+	c.busy.reset()
 	c.busyTotal = 0
 }
 
 // Owners returns the set of owner classes that have accumulated CPU time.
-func (c *CPU) Owners() []string {
-	out := make([]string, 0, len(c.busy))
-	for o := range c.busy {
-		out = append(out, o)
-	}
-	return out
-}
+func (c *CPU) Owners() []string { return c.busy.owners() }
 
 // Utilization returns the fraction of total core-time an owner occupied
 // over elapsed microseconds of simulated time.
@@ -140,5 +167,5 @@ func (c *CPU) Utilization(owner string, elapsed float64) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return c.busy[owner] / (float64(c.cores) * elapsed)
+	return c.busy.get(owner) / (float64(c.cores) * elapsed)
 }

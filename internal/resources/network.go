@@ -23,11 +23,15 @@ type Network struct {
 	queue   []*netReq
 	serving bool
 
-	busy      map[string]float64
+	// busy accumulates per-owner occupancy time and completed-transfer
+	// counts (tally.counts).
+	busy      tally
 	busyTotal float64
 
-	// transfers counts completed occupancy requests per owner.
-	transfers map[string]int
+	// free recycles completed request records with their bound fire
+	// closures, so both disciplines' transfer paths allocate nothing in
+	// steady state.
+	free []*netReq
 
 	// OnOccupancy, if set, observes every completed transfer (owner,
 	// start time, length) for trace recording.
@@ -38,17 +42,13 @@ type netReq struct {
 	owner  string
 	length float64
 	onDone func()
+	fire   func() // calls Network.complete(this); bound once, reused forever
 }
 
 // NewNetwork returns a network resource. contended selects the single
 // FIFO-channel discipline; otherwise transfers do not queue.
 func NewNetwork(sim *des.Simulator, contended bool) *Network {
-	return &Network{
-		sim:       sim,
-		contended: contended,
-		busy:      make(map[string]float64),
-		transfers: make(map[string]int),
-	}
+	return &Network{sim: sim, contended: contended}
 }
 
 // Contended reports the service discipline.
@@ -60,17 +60,26 @@ func (n *Network) Submit(owner string, length float64, onDone func()) {
 	if length < 0 || math.IsNaN(length) {
 		panic("resources: negative or NaN network request")
 	}
+	req := n.newReq(owner, length, onDone)
 	if !n.contended {
-		n.sim.Schedule(length, func() {
-			n.account(owner, length)
-			if onDone != nil {
-				onDone()
-			}
-		})
+		n.sim.Schedule(length, req.fire)
 		return
 	}
-	n.queue = append(n.queue, &netReq{owner: owner, length: length, onDone: onDone})
+	n.queue = append(n.queue, req)
 	n.serve()
+}
+
+func (n *Network) newReq(owner string, length float64, onDone func()) *netReq {
+	if l := len(n.free); l > 0 {
+		req := n.free[l-1]
+		n.free[l-1] = nil
+		n.free = n.free[:l-1]
+		req.owner, req.length, req.onDone = owner, length, onDone
+		return req
+	}
+	req := &netReq{owner: owner, length: length, onDone: onDone}
+	req.fire = func() { n.complete(req) }
+	return req
 }
 
 func (n *Network) serve() {
@@ -80,20 +89,35 @@ func (n *Network) serve() {
 	req := n.queue[0]
 	n.queue = n.queue[1:]
 	n.serving = true
-	n.sim.Schedule(req.length, func() {
-		n.account(req.owner, req.length)
+	n.sim.Schedule(req.length, req.fire)
+}
+
+// complete runs when a transfer's occupancy elapses: account it, recycle
+// the request record, notify the submitter, and (contended mode) start the
+// next queued transfer.
+func (n *Network) complete(req *netReq) {
+	n.account(req.owner, req.length)
+	if n.contended {
 		n.serving = false
-		if req.onDone != nil {
-			req.onDone()
-		}
+	}
+	done := req.onDone
+	req.onDone = nil
+	if len(n.free) < maxReqFree {
+		n.free = append(n.free, req)
+	}
+	if done != nil {
+		done()
+	}
+	if n.contended {
 		n.serve()
-	})
+	}
 }
 
 func (n *Network) account(owner string, length float64) {
-	n.busy[owner] += length
+	i := n.busy.idx(owner)
+	n.busy.vals[i] += length
+	n.busy.counts[i]++
 	n.busyTotal += length
-	n.transfers[owner]++
 	if n.OnOccupancy != nil {
 		n.OnOccupancy(owner, n.sim.Now()-length, length)
 	}
@@ -103,19 +127,18 @@ func (n *Network) account(owner string, length float64) {
 func (n *Network) QueueLen() int { return len(n.queue) }
 
 // Busy returns accumulated channel occupancy for an owner class.
-func (n *Network) Busy(owner string) float64 { return n.busy[owner] }
+func (n *Network) Busy(owner string) float64 { return n.busy.get(owner) }
 
 // BusyTotal returns accumulated occupancy across all owners.
 func (n *Network) BusyTotal() float64 { return n.busyTotal }
 
 // Transfers returns the number of completed transfers for an owner class.
-func (n *Network) Transfers(owner string) int { return n.transfers[owner] }
+func (n *Network) Transfers(owner string) int { return n.busy.count(owner) }
 
 // ResetAccounting clears occupancy accounting without disturbing queued or
 // in-flight transfers; used for warmup (initial-transient) removal.
 func (n *Network) ResetAccounting() {
-	n.busy = make(map[string]float64)
-	n.transfers = make(map[string]int)
+	n.busy.reset()
 	n.busyTotal = 0
 }
 
@@ -126,5 +149,5 @@ func (n *Network) Utilization(owner string, elapsed float64) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return n.busy[owner] / elapsed
+	return n.busy.get(owner) / elapsed
 }

@@ -1,0 +1,63 @@
+package resources
+
+// tally accumulates per-owner occupancy time. The owner set is a handful
+// of fixed class labels (app, pd, pvmd, other, paradyn), so a linear scan
+// over parallel slices beats a map on the per-slice accounting hot path:
+// the string compares fail fast on length (the class labels all differ in
+// length) and the structure allocates nothing after the first few adds.
+type tally struct {
+	names  []string
+	vals   []float64
+	counts []int // completed-request counts (used by Network, idle for CPU)
+}
+
+// idx returns owner's slot, adding one if needed.
+func (t *tally) idx(owner string) int {
+	for i, n := range t.names {
+		if n == owner {
+			return i
+		}
+	}
+	t.names = append(t.names, owner)
+	t.vals = append(t.vals, 0)
+	t.counts = append(t.counts, 0)
+	return len(t.names) - 1
+}
+
+func (t *tally) add(owner string, v float64) {
+	t.vals[t.idx(owner)] += v
+}
+
+func (t *tally) get(owner string) float64 {
+	for i, n := range t.names {
+		if n == owner {
+			return t.vals[i]
+		}
+	}
+	return 0
+}
+
+func (t *tally) count(owner string) int {
+	for i, n := range t.names {
+		if n == owner {
+			return t.counts[i]
+		}
+	}
+	return 0
+}
+
+// reset forgets all owners (matching the fresh-map semantics the
+// accounting reset had when this was a map).
+func (t *tally) reset() {
+	t.names = t.names[:0]
+	t.vals = t.vals[:0]
+	t.counts = t.counts[:0]
+}
+
+// owners returns the owner classes with accumulated time, freshly
+// allocated (callers are test/report paths).
+func (t *tally) owners() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
