@@ -8,6 +8,7 @@
 //	roccbench -exp fig9 -csv                    # CSV series for plotting
 //	roccbench -exp fig16 -parallel 8            # fan replications over 8 workers
 //	roccbench -exp table4 -dist 4               # fan factorial runs over 4 worker processes
+//	roccbench -exp table4 -dist 4 -http :9090   # live /metrics and /progress while it runs
 //	roccbench -exp bench -json -out BENCH_baseline.json   # perf record
 //	roccbench -compare BENCH_PR3.json -baseline BENCH_baseline.json
 //	roccbench -exp fig17 -cpuprofile cpu.pprof  # profile the regeneration
@@ -36,6 +37,8 @@ import (
 	"rocc/internal/des"
 	"rocc/internal/dist"
 	"rocc/internal/experiments"
+	"rocc/internal/obs"
+	"rocc/internal/obs/live"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 		parallel  = cli.Parallel(flag.CommandLine)
 		jsonOut   = cli.JSON(flag.CommandLine)
 		outPath   = cli.Out(flag.CommandLine)
+		httpAddr  = cli.HTTP(flag.CommandLine)
 		calName   = flag.String("calendar", "auto", "event calendar: auto, heap, bucket, list (results identical; perf only)")
 		compare   = flag.String("compare", "", "check this -json perf record against -baseline and exit")
 		baseline  = flag.String("baseline", "", "baseline perf record for -compare")
@@ -136,6 +140,20 @@ func main() {
 	}
 	opt.Parallel = *parallel
 	opt.DistWorkers = *distN
+	if *httpAddr != "" {
+		opt.SweepMetrics = obs.NewSweepMetrics()
+		opt.Monitor = dist.NewMonitor()
+		srv := live.NewServer(nil)
+		srv.Exporter().SetSweep(opt.SweepMetrics)
+		srv.SetProgress(func() any { return opt.Monitor.Snapshot() })
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roccbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "roccbench: monitoring on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
+	}
 	cal, err := des.ParseCalendarKind(*calName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roccbench:", err)

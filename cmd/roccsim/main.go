@@ -9,6 +9,7 @@
 //	roccsim -nodes 8 -reps 5 -json -out run.json  # scenario + results as JSON
 //	roccsim -nodes 8 -trace run.json            # Chrome/Perfetto trace
 //	roccsim -nodes 8 -trace run.txt             # AIX-like text trace
+//	roccsim -nodes 64 -duration 1000 -http :0   # live /metrics + pprof while it runs
 //	roccsim -cpuprofile cpu.pprof -log - -loglevel debug
 package main
 
@@ -28,6 +29,7 @@ import (
 	"rocc/internal/des"
 	"rocc/internal/forward"
 	"rocc/internal/obs"
+	"rocc/internal/obs/live"
 	"rocc/internal/report"
 	"rocc/internal/scenario"
 	"rocc/internal/trace"
@@ -56,6 +58,7 @@ func main() {
 		outPath  = cli.Out(flag.CommandLine)
 		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
 		traceOut = flag.String("trace", "", "export the run's trace (.json = Chrome/Perfetto, else AIX-like text)")
+		httpAddr = cli.HTTP(flag.CommandLine)
 		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
 		cfgOut   = flag.String("save-config", "", "write the scenario as JSON and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself")
@@ -144,9 +147,10 @@ func main() {
 
 	var res core.Result
 	var rep core.Replicated
-	if *traceOut != "" {
-		// Tracing requires direct model access; single run with the full
-		// observability layer (all CPUs + sample lifecycle + metrics).
+	if *traceOut != "" || *httpAddr != "" {
+		// Tracing and live monitoring require direct model access; single
+		// run with the full observability layer (all CPUs + sample
+		// lifecycle + metrics).
 		m, err := core.New(cfg)
 		if err != nil {
 			fatal("%v", err)
@@ -154,6 +158,18 @@ func main() {
 		c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
 		if err != nil {
 			fatal("%v", err)
+		}
+		if *httpAddr != "" {
+			// The run's counters, histogram, and sampler series are
+			// race-safe by construction, so scraping mid-run is sound.
+			srv := live.NewServer(nil)
+			srv.Exporter().SetRun(c.Metrics)
+			addr, err := srv.Start(*httpAddr)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "roccsim: monitoring on http://%s (/metrics /healthz /debug/pprof/)\n", addr)
 		}
 		logger.SetClock(func() float64 { return float64(m.Sim.Now()) })
 		logger.Info("run started", "arch", cfg.Arch.String(), "nodes", cfg.Nodes,
@@ -165,8 +181,10 @@ func main() {
 			"dropped", c.Metrics.Dropped.Value(),
 			"events", c.Metrics.Events.Value())
 		rep = core.Replicated{Results: []core.Result{res}}
-		if err := writeTrace(*traceOut, c); err != nil {
-			fatal("writing trace: %v", err)
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, c); err != nil {
+				fatal("writing trace: %v", err)
+			}
 		}
 		*reps = 1
 	} else {

@@ -8,6 +8,8 @@
 //	roccsweep -grid full -hosts big1,big2,big3             # ssh fleet
 //	roccsweep -grid paper -workers 8 -journal sweep.journal
 //	roccsweep -grid paper -workers 8 -journal sweep.journal -resume
+//	roccsweep -grid paper -workers 8 -http :9090            # live /metrics /healthz /progress /debug/pprof
+//	roccsweep -grid paper -workers 8 -trace timeline.json   # merged per-worker Chrome timeline
 //	roccsweep -worker                                       # worker mode (started by a driver)
 //
 // Workers are plain roccsweep processes in -worker mode: the driver
@@ -35,6 +37,7 @@ import (
 	"rocc/internal/cli"
 	"rocc/internal/dist"
 	"rocc/internal/obs"
+	"rocc/internal/obs/live"
 )
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 		noFallback = flag.Bool("no-fallback", false, "fail instead of degrading to local execution when workers are lost")
 		chaos      = flag.String("chaos", "", "inject worker faults, e.g. crash=0.25,hang=0.1,start=0.2,seed=7")
 		quiet      = flag.Bool("quiet", false, "suppress the fault-handling summary on stderr")
+		traceOut   = flag.String("trace", "", "write the merged sweep timeline (per-worker dispatch/run/retry spans) as Chrome trace JSON")
+		httpAddr   = cli.HTTP(flag.CommandLine)
 		seed       = cli.Seed(flag.CommandLine)
 		parallel   = cli.Parallel(flag.CommandLine)
 		outPath    = cli.Out(flag.CommandLine)
@@ -95,6 +100,26 @@ func main() {
 	}
 
 	metrics := obs.NewSweepMetrics()
+	var (
+		monitor  *dist.Monitor
+		recorder *dist.TraceRecorder
+	)
+	if *httpAddr != "" {
+		monitor = dist.NewMonitor()
+		srv := live.NewServer(nil)
+		srv.Exporter().SetSweep(metrics)
+		srv.SetProgress(func() any { return monitor.Snapshot() })
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roccsweep:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "roccsweep: monitoring on http://%s (/metrics /healthz /progress /debug/pprof/)\n", addr)
+	}
+	if *traceOut != "" {
+		recorder = dist.NewTraceRecorder()
+	}
 	opt := dist.SweepOptions{
 		Grid:        *grid,
 		Reps:        *reps,
@@ -112,6 +137,8 @@ func main() {
 			Seed:            *seed,
 			Log:             os.Stderr,
 			Metrics:         metrics,
+			Monitor:         monitor,
+			Trace:           recorder,
 		},
 	}
 
@@ -119,6 +146,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roccsweep:", err)
 		os.Exit(1)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roccsweep:", err)
+			os.Exit(1)
+		}
+		if err := recorder.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "roccsweep: writing trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "roccsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "roccsweep: wrote sweep timeline (%d events) to %s\n", recorder.Len(), *traceOut)
 	}
 
 	out, err := cli.Output(*outPath)

@@ -10,6 +10,8 @@
 //	roccviz -nodes 8 -windows 20 -series
 //	roccviz -nodes 4 -export run.json      # Chrome trace for Perfetto
 //	roccviz -check run.json                # validate an exported trace
+//	roccviz -check sweep-timeline.json     # roccsweep -trace output validates too
+//	roccviz -nodes 8 -http :0              # live /metrics + pprof during the run
 package main
 
 import (
@@ -18,9 +20,11 @@ import (
 	"os"
 	"strings"
 
+	"rocc/internal/cli"
 	"rocc/internal/core"
 	"rocc/internal/forward"
 	"rocc/internal/obs"
+	"rocc/internal/obs/live"
 	"rocc/internal/report"
 	"rocc/internal/trace"
 )
@@ -39,6 +43,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit figures as CSV")
 		export  = flag.String("export", "", "write the run's Chrome trace JSON to this file")
 		check   = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+		http    = cli.HTTP(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -88,6 +93,16 @@ func main() {
 	c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *http != "" {
+		srv := live.NewServer(nil)
+		srv.Exporter().SetRun(c.Metrics)
+		addr, err := srv.Start(*http)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "roccviz: monitoring on http://%s (/metrics /healthz /debug/pprof/)\n", addr)
 	}
 	res := m.Run()
 

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -86,6 +87,51 @@ func (v seedValue) Set(raw string) error {
 		return fmt.Errorf("must be an unsigned 64-bit integer, got %q", raw)
 	}
 	*v.s = n
+	return nil
+}
+
+// HTTP registers -http: the listen address for the live monitoring
+// endpoint (/metrics, /healthz, /progress, /debug/pprof/). Empty (the
+// default) disables the server; ":0" binds an ephemeral port — callers
+// should log the bound address live.Server.Start reports. Malformed
+// addresses are rejected at parse time with a usage error instead of
+// surfacing as a confusing bind failure mid-run.
+func HTTP(fs *flag.FlagSet) *string {
+	a := new(string)
+	fs.Var(httpValue{a}, "http",
+		"serve live metrics/progress/pprof on this address (e.g. :9090; :0 picks a free port; empty = disabled)")
+	return a
+}
+
+// httpValue validates -http at parse time.
+type httpValue struct{ a *string }
+
+func (v httpValue) String() string {
+	if v.a == nil {
+		return ""
+	}
+	return *v.a
+}
+
+func (v httpValue) Set(raw string) error {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		// Explicit -http="" is an explicit disable.
+		*v.a = ""
+		return nil
+	}
+	host, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return fmt.Errorf("must be host:port or :port (use :0 for a free port), got %q", raw)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil || n < 0 || n > 65535 {
+		return fmt.Errorf("port must be an integer in 0-65535, got %q", port)
+	}
+	if strings.ContainsAny(host, " \t/") {
+		return fmt.Errorf("host %q is not a valid hostname or IP", host)
+	}
+	*v.a = s
 	return nil
 }
 

@@ -79,6 +79,50 @@ func TestSharedFlagValidation(t *testing.T) {
 	}
 }
 
+// -http must reject garbage at parse time and accept the documented
+// forms, including ":0" for an ephemeral port.
+func TestHTTPFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		want    string
+	}{
+		{"default disabled", nil, false, ""},
+		{"explicit empty disables", []string{"-http", ""}, false, ""},
+		{"ephemeral port", []string{"-http", ":0"}, false, ":0"},
+		{"port only", []string{"-http", ":9090"}, false, ":9090"},
+		{"host and port", []string{"-http", "127.0.0.1:8080"}, false, "127.0.0.1:8080"},
+		{"ipv6", []string{"-http", "[::1]:8080"}, false, "[::1]:8080"},
+		{"no port", []string{"-http", "localhost"}, true, ""},
+		{"negative port", []string{"-http", ":-1"}, true, ""},
+		{"port overflow", []string{"-http", ":70000"}, true, ""},
+		{"non-numeric port", []string{"-http", ":http"}, true, ""},
+		{"garbage", []string{"-http", "not an address"}, true, ""},
+		{"url not address", []string{"-http", "http://x:1"}, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			a := HTTP(fs)
+			err := fs.Parse(tc.args)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%v) accepted %q", tc.args, *a)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%v): %v", tc.args, err)
+			}
+			if *a != tc.want {
+				t.Errorf("Parse(%v) = %q, want %q", tc.args, *a, tc.want)
+			}
+		})
+	}
+}
+
 // The registered defaults must render in usage output despite the custom
 // flag.Value types.
 func TestSharedFlagUsageDefaults(t *testing.T) {

@@ -138,6 +138,13 @@ type Options struct {
 	Log io.Writer
 	// Metrics, when set, counts retries/redispatches/quarantines etc.
 	Metrics *obs.SweepMetrics
+	// Monitor, when set, receives live progress for the monitoring
+	// endpoint (/progress); nil costs nothing.
+	Monitor *Monitor
+	// Trace, when set, merges per-shard spans — dispatch, run, retry,
+	// quarantine, local fallback, merge — into a Chrome/Perfetto
+	// timeline; nil costs nothing (no context values, no clock reads).
+	Trace *TraceRecorder
 }
 
 func (o Options) normalized() Options {
@@ -234,9 +241,12 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]core.Result, error) {
 		results:   make([][]core.Result, len(shards)),
 		jitter:    opt.Seed,
 		m:         opt.Metrics,
+		mon:       opt.Monitor,
+		tr:        opt.Trace,
 	}
 	c.cond = sync.NewCond(&c.mu)
 
+	recoveredN := 0
 	if opt.Journal != "" {
 		shardLen := func(si int) int { return shards[si].hi - shards[si].lo }
 		hdr := journalHeader{V: 1, Jobs: n, ShardSize: opt.ShardSize, Fingerprint: fingerprint(jobs)}
@@ -254,7 +264,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]core.Result, error) {
 			fmt.Fprintf(opt.Log, "dist: resumed %d/%d shards from journal %s\n",
 				len(recovered), len(shards), opt.Journal)
 		}
+		recoveredN = len(recovered)
 	}
+	c.mon.begin(len(shards), recoveredN)
 
 	for si := range shards {
 		if c.status[si] != statusDone {
@@ -263,7 +275,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]core.Result, error) {
 		}
 	}
 	if c.remoteable == 0 {
-		return c.merged(), nil
+		return c.finishMerged(), nil
 	}
 
 	if len(opt.Runners) > 0 {
@@ -308,12 +320,40 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]core.Result, error) {
 			} else {
 				fmt.Fprintf(opt.Log, "dist: %d shard(s) exhausted their remote retry budget; draining locally\n", len(left))
 			}
+			// Shards that exhausted their retry budget were already counted
+			// by onFailure; count only the ones stranded by a lost fleet.
+			c.mu.Lock()
+			stranded := 0
+			for _, si := range left {
+				if c.status[si] != statusLocal {
+					stranded++
+				}
+			}
+			c.mu.Unlock()
+			for i := 0; i < stranded; i++ {
+				c.mon.toLocal()
+			}
 		}
 		if err := c.drainLocal(ctx, left, len(opt.Runners) > 0); err != nil {
 			return nil, err
 		}
 	}
-	return c.merged(), nil
+	return c.finishMerged(), nil
+}
+
+// finishMerged assembles the job-order results, recording the merge span
+// and pinning the monitor's ETA to zero.
+func (c *coord) finishMerged() []core.Result {
+	var t0 float64
+	if c.tr != nil {
+		t0 = c.tr.nowUS()
+	}
+	out := c.merged()
+	if c.tr != nil {
+		c.tr.mergeSpan(t0, len(c.jobs))
+	}
+	c.mon.finish()
+	return out
 }
 
 // coord is the driver's shared state: shard lifecycle, the dispatch
@@ -324,6 +364,8 @@ type coord struct {
 	jobs   []Job
 	shards []shardRange
 	m      *obs.SweepMetrics
+	mon    *Monitor       // nil when progress is off
+	tr     *TraceRecorder // nil when tracing is off
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -354,6 +396,7 @@ func (c *coord) warnf(format string, args ...any) {
 func (c *coord) slot(ctx context.Context, r Runner) {
 	defer c.slotExit()
 	name := r.Name()
+	defer c.mon.workerRetired(name)
 	failStreak := 0
 	started := false
 	for {
@@ -362,14 +405,24 @@ func (c *coord) slot(ctx context.Context, r Runner) {
 			return
 		}
 		started = true
+		c.mon.workerReady(name)
 		for {
-			si, ok := c.next(ctx)
+			si, speculative, ok := c.next(ctx)
 			if !ok {
 				w.Close()
 				return
 			}
 			sh := c.shards[si]
+			c.mon.dispatched(name, si, speculative)
 			actx, cancel := context.WithTimeout(ctx, c.attemptDeadline())
+			var tok *attemptToken
+			if c.tr != nil {
+				tok = c.tr.attemptStart(name, si)
+				actx = withTraceContext(actx, &traceContext{
+					Shard: si, Attempt: tok.attempt, Base: sh.lo,
+					collect: func(spans []Span) { tok.spans = spans },
+				})
+			}
 			begin := time.Now()
 			res, err := w.Run(actx, si, c.jobs[sh.lo:sh.hi])
 			timedOut := actx.Err() == context.DeadlineExceeded && ctx.Err() == nil
@@ -377,7 +430,11 @@ func (c *coord) slot(ctx context.Context, r Runner) {
 			if err == nil && len(res) != sh.hi-sh.lo {
 				err = fmt.Errorf("returned %d results, want %d", len(res), sh.hi-sh.lo)
 			}
+			if tok != nil {
+				c.tr.attemptEnd(tok, err, timedOut)
+			}
 			if err != nil {
+				c.mon.failed(name, timedOut)
 				c.onFailure(si, name, err, timedOut)
 				w.Close()
 				if ctx.Err() != nil {
@@ -387,6 +444,10 @@ func (c *coord) slot(ctx context.Context, r Runner) {
 				failStreak++
 				if failStreak >= c.opt.QuarantineAfter {
 					c.m.Quarantines.Add(1)
+					c.mon.quarantine(name)
+					if c.tr != nil {
+						c.tr.quarantine(name, failStreak, err)
+					}
 					c.warnf("dist: worker %s quarantined after %d consecutive failures (last: %v)",
 						name, failStreak, err)
 					return
@@ -394,7 +455,7 @@ func (c *coord) slot(ctx context.Context, r Runner) {
 				break // replace the worker
 			}
 			failStreak = 0
-			c.onSuccess(si, res, time.Since(begin))
+			c.onSuccess(si, name, res, time.Since(begin))
 		}
 	}
 }
@@ -403,6 +464,7 @@ func (c *coord) slot(ctx context.Context, r Runner) {
 // Returns nil when the slot should retire (persistent failure or
 // shutdown).
 func (c *coord) startWorker(ctx context.Context, r Runner, restart bool) Worker {
+	c.mon.workerStarting(r.Name())
 	for k := 0; ; k++ {
 		if c.isClosed() || ctx.Err() != nil {
 			return nil
@@ -426,14 +488,14 @@ func (c *coord) startWorker(ctx context.Context, r Runner, restart bool) Worker 
 }
 
 // next blocks until a shard is available for this worker: a queued shard
-// first, else a speculative duplicate of the oldest straggler. Returns
-// false when the remote phase is over.
-func (c *coord) next(ctx context.Context) (int, bool) {
+// first, else a speculative duplicate of the oldest straggler (reported
+// in the second return). Returns false when the remote phase is over.
+func (c *coord) next(ctx context.Context) (si int, speculative, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
 		if c.closed || ctx.Err() != nil || c.remoteable == 0 {
-			return 0, false
+			return 0, false, false
 		}
 		if len(c.queue) > 0 {
 			si := c.queue[0]
@@ -444,12 +506,12 @@ func (c *coord) next(ctx context.Context) (int, bool) {
 				c.startedAt[si] = time.Now()
 			}
 			c.m.Dispatched.Add(1)
-			return si, true
+			return si, false, true
 		}
 		if si, ok := c.speculativeLocked(); ok {
 			c.attempts[si]++
 			c.m.Redispatches.Add(1)
-			return si, true
+			return si, true, true
 		}
 		c.cond.Wait()
 	}
@@ -472,7 +534,7 @@ func (c *coord) speculativeLocked() (int, bool) {
 
 // onSuccess records a completed shard; duplicate completions (from
 // speculative re-dispatch) are discarded by shard index.
-func (c *coord) onSuccess(si int, res []core.Result, dur time.Duration) {
+func (c *coord) onSuccess(si int, worker string, res []core.Result, dur time.Duration) {
 	c.mu.Lock()
 	if c.attempts[si] > 0 {
 		c.attempts[si]--
@@ -480,6 +542,7 @@ func (c *coord) onSuccess(si int, res []core.Result, dur time.Duration) {
 	if c.status[si] == statusDone {
 		c.mu.Unlock()
 		c.m.Duplicates.Add(1)
+		c.mon.duplicate(worker)
 		return
 	}
 	wasRemote := c.status[si] != statusLocal
@@ -495,6 +558,7 @@ func (c *coord) onSuccess(si int, res []core.Result, dur time.Duration) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.m.Completed.Add(1)
+	c.mon.completed(worker, si, dur)
 	if jr != nil {
 		if err := jr.append(si, res); err != nil {
 			c.warnf("dist: %v", err)
@@ -528,11 +592,16 @@ func (c *coord) onFailure(si int, worker string, err error, timedOut bool) {
 		c.status[si] = statusLocal
 		c.remoteable--
 		c.cond.Broadcast()
+		c.mon.toLocal()
 		return
 	}
 	c.status[si] = statusWaiting
 	c.m.Retries.Add(1)
+	c.mon.backoff()
 	delay := c.backoffLocked(c.failures[si])
+	if c.tr != nil {
+		c.tr.retryWait(si, delay)
+	}
 	t := time.AfterFunc(delay, func() { c.requeue(si) })
 	c.timers = append(c.timers, t)
 }
@@ -547,6 +616,7 @@ func (c *coord) requeue(si int) {
 	c.status[si] = statusPending
 	c.queue = append(c.queue, si)
 	c.cond.Broadcast()
+	c.mon.requeued()
 }
 
 // attemptDeadline sizes the per-attempt deadline from observed shard
@@ -653,6 +723,11 @@ func (c *coord) drainLocal(ctx context.Context, left []int, fallback bool) error
 		if err := ctx.Err(); err != nil {
 			return struct{}{}, err
 		}
+		var t0 float64
+		if c.tr != nil {
+			t0 = c.tr.nowUS()
+		}
+		begin := time.Now()
 		sh := c.shards[si]
 		res, err := executeAll(c.jobs[sh.lo:sh.hi])
 		if err != nil {
@@ -664,6 +739,10 @@ func (c *coord) drainLocal(ctx context.Context, left []int, fallback bool) error
 		c.mu.Unlock()
 		if fallback {
 			c.m.LocalShards.Add(1)
+		}
+		c.mon.completedLocal(time.Since(begin))
+		if c.tr != nil {
+			c.tr.localShard(si, t0)
 		}
 		if c.journal != nil {
 			if jerr := c.journal.append(si, res); jerr != nil {

@@ -164,7 +164,12 @@ func startProcWorker(ctx context.Context, cmd *exec.Cmd, name string) (Worker, e
 // killed if ctx expires first (a hung or wedged worker holds no locks we
 // need — a fresh one takes its place).
 func (w *procWorker) Run(ctx context.Context, id int, jobs []Job) ([]core.Result, error) {
-	if err := writeFrame(w.in, request{V: wireVersion, ID: id, Jobs: jobs}); err != nil {
+	tc := traceContextFrom(ctx)
+	req := request{V: wireVersion, ID: id, Jobs: jobs}
+	if tc != nil {
+		req.Trace = &wireTrace{Shard: tc.Shard, Attempt: tc.Attempt, Base: tc.Base}
+	}
+	if err := writeFrame(w.in, req); err != nil {
 		w.Close()
 		return nil, fmt.Errorf("dist: %s: send shard %d: %w", w.name, id, err)
 	}
@@ -194,6 +199,9 @@ func (w *procWorker) Run(ctx context.Context, id int, jobs []Job) ([]core.Result
 		}
 		if r.resp.Error != "" {
 			return nil, errors.New(r.resp.Error)
+		}
+		if tc != nil && tc.collect != nil {
+			tc.collect(r.resp.Spans)
 		}
 		return r.resp.Results, nil
 	}
@@ -234,6 +242,17 @@ func (r InProcessRunner) Start(ctx context.Context) (Worker, error) {
 type inProcWorker struct{}
 
 func (inProcWorker) Run(ctx context.Context, _ int, jobs []Job) ([]core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if tc := traceContextFrom(ctx); tc != nil {
+		// Same traced path the wire-protocol worker runs, minus the pipes.
+		res, spans, err := executeShard(jobs, &wireTrace{Shard: tc.Shard, Attempt: tc.Attempt, Base: tc.Base})
+		if err == nil && tc.collect != nil {
+			tc.collect(spans)
+		}
+		return res, err
+	}
 	out := make([]core.Result, 0, len(jobs))
 	for i, j := range jobs {
 		if err := ctx.Err(); err != nil {

@@ -27,19 +27,35 @@ const wireVersion = 1
 const maxFrame = 64 << 20
 
 // request asks a worker to execute one shard: run every job, in order.
+// Trace, when present, asks the worker to record per-job spans; it is an
+// optional field, so tracing needs no version bump and an older worker
+// simply ignores it.
 type request struct {
-	V    int   `json:"v"`
-	ID   int   `json:"id"` // shard index, echoed in the response
-	Jobs []Job `json:"jobs"`
+	V     int        `json:"v"`
+	ID    int        `json:"id"` // shard index, echoed in the response
+	Jobs  []Job      `json:"jobs"`
+	Trace *wireTrace `json:"trace,omitempty"`
+}
+
+// wireTrace is the trace context forwarded with a shard request: enough
+// for the worker to label its spans with sweep-global coordinates.
+type wireTrace struct {
+	Shard   int `json:"shard"`
+	Attempt int `json:"attempt"`
+	// Base is the shard's first global job index.
+	Base int `json:"base"`
 }
 
 // response carries a shard's results (one per job, in job order) or the
-// error that stopped execution.
+// error that stopped execution. Spans are the worker's trace spans when
+// the request asked for them — they ride alongside Results and never
+// influence them.
 type response struct {
 	V       int           `json:"v"`
 	ID      int           `json:"id"`
 	Results []core.Result `json:"results,omitempty"`
 	Error   string        `json:"error,omitempty"`
+	Spans   []Span        `json:"spans,omitempty"`
 }
 
 // writeFrame marshals v and writes one length-prefixed frame.
@@ -107,10 +123,11 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		resp := response{V: wireVersion, ID: req.ID}
 		if req.V != wireVersion {
 			resp.Error = fmt.Sprintf("dist: protocol version %d, worker speaks %d", req.V, wireVersion)
-		} else if results, err := executeAll(req.Jobs); err != nil {
+		} else if results, spans, err := executeShard(req.Jobs, req.Trace); err != nil {
 			resp.Error = err.Error()
 		} else {
 			resp.Results = results
+			resp.Spans = spans
 		}
 		if err := writeFrame(bw, resp); err != nil {
 			return err
@@ -119,4 +136,27 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			return err
 		}
 	}
+}
+
+// executeShard runs a shard's jobs in order, recording per-job and
+// whole-shard spans when tc asks for them. Span recording is strictly
+// observational — the result slice is the same executeAll would return.
+func executeShard(jobs []Job, tc *wireTrace) ([]core.Result, []Span, error) {
+	if tc == nil {
+		res, err := executeAll(jobs)
+		return res, nil, err
+	}
+	rec := newWorkerSpanRecorder()
+	out := make([]core.Result, 0, len(jobs))
+	for i, j := range jobs {
+		t0 := rec.sinceUS()
+		r, err := Execute(j)
+		if err != nil {
+			return nil, nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		rec.add(fmt.Sprintf("job %d", tc.Base+i), "job", t0, tc.Shard, tc.Attempt, tc.Base+i)
+		out = append(out, r)
+	}
+	rec.add(fmt.Sprintf("run shard %d", tc.Shard), "run", 0, tc.Shard, tc.Attempt, -1)
+	return out, rec.spans, nil
 }

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"rocc/internal/des"
+	"rocc/internal/dist"
+	"rocc/internal/obs"
 )
 
 // Options scales the experiments.
@@ -49,6 +51,14 @@ type Options struct {
 	// distributed workers — which always run the auto selection — stay
 	// output-compatible regardless of this setting.
 	Calendar des.CalendarKind
+	// SweepMetrics, Monitor, and Trace attach live telemetry to the
+	// distributed factorial runs (DistWorkers > 0): fault counters for a
+	// /metrics exposition, shard progress for /progress, and the merged
+	// per-worker shard timeline. All three are nil-safe and purely
+	// observational — results stay byte-identical with or without them.
+	SweepMetrics *obs.SweepMetrics
+	Monitor      *dist.Monitor
+	Trace        *dist.TraceRecorder
 }
 
 // Default returns the fast default scaling.

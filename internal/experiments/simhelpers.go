@@ -164,11 +164,17 @@ func runFactorial(rows []factorialRow, opt Options, overhead, latency core.Metri
 		for k, j := range jobs {
 			djobs[k] = dist.Job{Spec: scenario.FromConfig(j.cfg), Seed: j.cfg.Seed}
 		}
-		flat, err = dist.Run(context.Background(), djobs, dist.Options{
+		dopt := dist.Options{
 			Runners:       distRunners(opt.DistWorkers),
 			LocalParallel: opt.Parallel,
 			Log:           os.Stderr,
-		})
+			Monitor:       opt.Monitor,
+			Trace:         opt.Trace,
+		}
+		if opt.SweepMetrics != nil {
+			dopt.Metrics = opt.SweepMetrics
+		}
+		flat, err = dist.Run(context.Background(), djobs, dopt)
 	} else {
 		flat, err = par.Map(opt.Parallel, jobs, func(_ int, j job) (core.Result, error) {
 			m, err := core.New(j.cfg)

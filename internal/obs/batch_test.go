@@ -58,6 +58,43 @@ func TestStagingDoesNotChangeResults(t *testing.T) {
 	}
 }
 
+// Atomic counters and gauges are the per-event write path when metrics
+// are enabled; they must stay allocation-free now that the live exporter
+// reads them concurrently.
+func TestAtomicCounterGaugeDoNotAllocate(t *testing.T) {
+	m := NewMetrics()
+	var g Gauge
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Events.Add(1)
+		m.Generated.Add(1)
+		g.Set(3.5)
+		_ = m.Events.Value()
+	})
+	if allocs > 0 {
+		t.Fatalf("counter/gauge hot path allocated %.2f objects per call", allocs)
+	}
+}
+
+// Snapshot copies the histogram (it allocates), but taking one must not
+// disturb the zero-alloc property of subsequent staged observations —
+// the scrape path and the hot path share only the histogram mutex.
+func TestObserveStaysAllocationFreeAfterSnapshot(t *testing.T) {
+	h := NewHistogram("lat", ExpBuckets(100, math.Sqrt2, 40))
+	h.EnableStaging(64)
+	for i := 0; i < 200; i++ {
+		h.Observe(float64(100 + i))
+	}
+	_ = h.Snapshot()
+	v := 100.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 13.7
+	})
+	if allocs > 0 {
+		t.Fatalf("staged Observe allocated %.2f objects per call after Snapshot", allocs)
+	}
+}
+
 // A sampler whose series were sized for the run must not allocate at
 // steady-state ticks: T/V appends stay within capacity and the reschedule
 // reuses one closure.

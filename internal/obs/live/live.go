@@ -1,0 +1,213 @@
+// Package live is the runtime telemetry plane over internal/obs: where
+// obs records a run for post-hoc analysis, live exposes the same
+// registries while the run is still executing — as OpenMetrics text for
+// a Prometheus-style scraper and as JSON progress for humans mid-sweep.
+//
+// The package has two halves:
+//
+//   - Exporter renders attached metric sources (obs.Metrics,
+//     obs.SweepMetrics, extra gauge callbacks) in the OpenMetrics text
+//     exposition format, with every metric family appearing exactly once
+//     in a stable sorted order. Reads are race-safe against a mutating
+//     run: counters and gauges load atomically, histograms and sampler
+//     series copy under their locks (see internal/obs).
+//   - Server is the embeddable monitoring HTTP server behind the -http
+//     flag of roccsweep, roccbench, and roccsim: /metrics (OpenMetrics),
+//     /healthz (liveness JSON), /progress (a caller-supplied JSON
+//     snapshot, e.g. dist.Progress), and net/http/pprof under
+//     /debug/pprof/.
+//
+// Nothing here touches simulation state: the exporter only reads, and a
+// binary that never passes -http pays nothing — no listener, no
+// goroutine, no allocation.
+package live
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"rocc/internal/obs"
+)
+
+// MetricPrefix is prepended to every exported metric family name.
+const MetricPrefix = "rocc_"
+
+// gaugeSource is one registered callback gauge.
+type gaugeSource struct {
+	name string
+	help string
+	read func() float64
+}
+
+// Exporter renders attached metric sources as OpenMetrics text. All
+// methods are safe for concurrent use; sources may be attached while
+// scrapes are in flight (a scrape sees the sources attached at its
+// start).
+type Exporter struct {
+	mu     sync.Mutex
+	run    *obs.Metrics
+	sweep  *obs.SweepMetrics
+	gauges []gaugeSource
+}
+
+// NewExporter returns an empty exporter; attach sources with SetRun,
+// SetSweep, and AddGauge.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// SetRun attaches a simulation run's metric registry: its pipeline
+// counters, the delivery-latency histogram, and any sampler series
+// (exported as gauges holding each series' latest sample).
+func (e *Exporter) SetRun(m *obs.Metrics) {
+	e.mu.Lock()
+	e.run = m
+	e.mu.Unlock()
+}
+
+// SetSweep attaches a distributed sweep's fault-handling counters.
+func (e *Exporter) SetSweep(m *obs.SweepMetrics) {
+	e.mu.Lock()
+	e.sweep = m
+	e.mu.Unlock()
+}
+
+// AddGauge registers a callback gauge under the given family name
+// (without the rocc_ prefix). The callback runs at scrape time and must
+// be safe for concurrent use. Registering a name twice keeps the first
+// registration — families must appear exactly once in the output.
+func (e *Exporter) AddGauge(name, help string, read func() float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, g := range e.gauges {
+		if g.name == name {
+			return
+		}
+	}
+	e.gauges = append(e.gauges, gaugeSource{name: name, help: help, read: read})
+}
+
+// family is one metric family ready to render: a TYPE line and its
+// sample lines.
+type family struct {
+	name    string // full name, prefix included
+	typ     string // counter, gauge, histogram
+	help    string
+	samples []string // fully rendered sample lines
+}
+
+// WriteOpenMetrics renders every attached source in the OpenMetrics text
+// exposition format: families sorted by name, each exactly once (the
+// first registration wins on a name collision), terminated by the
+// mandatory "# EOF" line.
+func (e *Exporter) WriteOpenMetrics(w io.Writer) error {
+	e.mu.Lock()
+	run, sweep := e.run, e.sweep
+	gauges := append([]gaugeSource(nil), e.gauges...)
+	e.mu.Unlock()
+
+	var fams []family
+	if run != nil {
+		for _, c := range run.Counters() {
+			fams = append(fams, counterFamily(MetricPrefix+sanitizeName(c.Name),
+				"simulation pipeline counter "+c.Name, c.Value()))
+		}
+		fams = append(fams, histogramFamily(run.Latency))
+		for _, s := range run.Series() {
+			s := s
+			fams = append(fams, seriesFamily(s))
+		}
+	}
+	if sweep != nil {
+		for _, c := range sweep.Counters() {
+			fams = append(fams, counterFamily(MetricPrefix+"sweep_"+sanitizeName(c.Name),
+				"distributed sweep fault-handling counter "+c.Name, c.Value()))
+		}
+	}
+	for _, g := range gauges {
+		fams = append(fams, family{
+			name:    MetricPrefix + sanitizeName(g.name),
+			typ:     "gauge",
+			help:    g.help,
+			samples: []string{fmt.Sprintf("%s %s", MetricPrefix+sanitizeName(g.name), formatFloat(g.read()))},
+		})
+	}
+
+	// Exactly-once with a stable order: sort by family name, drop any
+	// later duplicate. Every registry above already names its counters
+	// uniquely; this guards combinations (e.g. a callback gauge colliding
+	// with a counter family) so the exposition stays parseable.
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := fams[:0]
+	for _, f := range fams {
+		if len(out) > 0 && out[len(out)-1].name == f.name {
+			continue
+		}
+		out = append(out, f)
+	}
+
+	var b strings.Builder
+	for _, f := range out {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// counterFamily renders one monotonic counter (sample name carries the
+// OpenMetrics-mandated _total suffix).
+func counterFamily(name, help string, v uint64) family {
+	return family{
+		name:    name,
+		typ:     "counter",
+		help:    help,
+		samples: []string{fmt.Sprintf("%s_total %d", name, v)},
+	}
+}
+
+// histogramFamily renders a histogram snapshot with cumulative buckets,
+// the mandatory +Inf bucket, and _sum/_count samples.
+func histogramFamily(h *obs.Histogram) family {
+	snap := h.Snapshot()
+	name := MetricPrefix + sanitizeName(snap.Name)
+	samples := make([]string, 0, len(snap.Counts)+2)
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatFloat(snap.Bounds[i])
+		}
+		samples = append(samples, fmt.Sprintf("%s_bucket{le=%q} %d", name, le, cum))
+	}
+	samples = append(samples,
+		fmt.Sprintf("%s_count %d", name, snap.Total),
+		fmt.Sprintf("%s_sum %s", name, formatFloat(snap.Sum)))
+	return family{name: name, typ: "histogram", help: "sample delivery latency distribution", samples: samples}
+}
+
+// seriesFamily renders a sampler series' most recent sample as a gauge,
+// with the simulated timestamp alongside in a companion label-free
+// metric would be overkill — the sim time rides as a label instead.
+func seriesFamily(s *obs.Series) family {
+	name := MetricPrefix + "series_" + sanitizeName(s.Name)
+	t, v, ok := s.Last()
+	if !ok {
+		return family{name: name, typ: "gauge",
+			help:    "latest value of sampler series " + s.Name,
+			samples: []string{name + " 0"}}
+	}
+	return family{name: name, typ: "gauge",
+		help: "latest value of sampler series " + s.Name,
+		samples: []string{fmt.Sprintf("%s{sim_time_us=%q} %s",
+			name, formatFloat(t), formatFloat(v))}}
+}

@@ -1,0 +1,189 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// sanitizeName maps an arbitrary metric name onto the OpenMetrics name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*; every illegal rune becomes '_'.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, with the spec spellings for the
+// non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseExposition validates OpenMetrics/Prometheus text exposition
+// produced by Exporter.WriteOpenMetrics (or any conforming scrape) and
+// returns the number of sample lines. It enforces the invariants a
+// scraper relies on:
+//
+//   - every sample line parses as name[{labels}] value [timestamp];
+//   - every sample belongs to a family announced by a # TYPE line, after
+//     stripping the counter/histogram sample suffixes;
+//   - no family is declared twice;
+//   - the stream ends with the mandatory "# EOF" line and nothing after.
+//
+// It is the referee for the exposition golden tests and the CI telemetry
+// smoke step (tools/checkexpo).
+func ParseExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	sawEOF := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return 0, fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[1] == "EOF" {
+				sawEOF = true
+				continue
+			}
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP" || fields[1] == "UNIT") {
+				if len(fields) < 3 {
+					return 0, fmt.Errorf("line %d: malformed %s comment: %q", line, fields[1], text)
+				}
+				if fields[1] == "TYPE" {
+					name := fields[2]
+					if len(fields) < 4 {
+						return 0, fmt.Errorf("line %d: TYPE %s missing a type", line, name)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset", "gaugehistogram":
+					default:
+						return 0, fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
+					}
+					if _, dup := types[name]; dup {
+						return 0, fmt.Errorf("line %d: family %s declared twice", line, name)
+					}
+					types[name] = fields[3]
+				}
+				continue
+			}
+			continue // free-form comment
+		}
+		name, err := parseSampleLine(text)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %v", line, err)
+		}
+		if familyOf(name, types) == "" {
+			return 0, fmt.Errorf("line %d: sample %s has no # TYPE declaration", line, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !sawEOF {
+		return 0, fmt.Errorf("missing terminating # EOF line")
+	}
+	return samples, nil
+}
+
+// parseSampleLine checks one sample line and returns its metric name.
+func parseSampleLine(text string) (string, error) {
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", fmt.Errorf("malformed sample line %q", text)
+	}
+	name := rest[:i]
+	if !validName(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated label set in %q", text)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("want 'name[{labels}] value [timestamp]', got %q", text)
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return "", fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, nil
+}
+
+// parseValue accepts exposition numbers, including the spec spellings of
+// the non-finite values.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validName reports whether s matches the metric-name grammar.
+func validName(s string) bool {
+	return s != "" && s == sanitizeName(s)
+}
+
+// familyOf resolves a sample name to its declared family, stripping the
+// structured suffixes counters and histograms append to sample names.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count", "_created"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base
+			}
+		}
+	}
+	return ""
+}

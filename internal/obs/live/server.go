@@ -1,0 +1,145 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+)
+
+// Server is the embeddable monitoring endpoint behind the -http flag:
+//
+//	GET /metrics       OpenMetrics text from the attached Exporter
+//	GET /healthz       liveness JSON (status, pid, uptime)
+//	GET /progress      caller-supplied progress snapshot as JSON
+//	GET /debug/pprof/  the standard net/http/pprof handlers
+//
+// Start binds the listener (":0" picks a free port; the bound address is
+// returned and should be logged), serves in a background goroutine, and
+// Close shuts it down. A Server is cheap enough to run alongside any
+// sweep or simulation; everything it reads is race-safe by construction.
+type Server struct {
+	exporter *Exporter
+
+	mu       sync.Mutex
+	progress func() any
+	started  time.Time
+	srv      *http.Server
+	ln       net.Listener
+}
+
+// NewServer returns a server exporting metrics from exp (which may have
+// sources attached later, or never).
+func NewServer(exp *Exporter) *Server {
+	if exp == nil {
+		exp = NewExporter()
+	}
+	return &Server{exporter: exp}
+}
+
+// Exporter returns the server's exporter, for attaching sources.
+func (s *Server) Exporter() *Exporter { return s.exporter }
+
+// SetProgress installs the /progress snapshot source. The callback runs
+// per request and must be safe for concurrent use; its result is
+// JSON-encoded verbatim (e.g. dist.Progress).
+func (s *Server) SetProgress(fn func() any) {
+	s.mu.Lock()
+	s.progress = fn
+	s.mu.Unlock()
+}
+
+// Start binds addr (host:port; ":0" for an ephemeral port) and begins
+// serving in a background goroutine. It returns the bound address so
+// callers can log the actual port behind ":0".
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	s.started = time.Now()
+	s.srv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server; safe to call before Start or more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type",
+		"application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if err := s.exporter.WriteOpenMetrics(w); err != nil {
+		// Headers are gone; the truncated body fails the scraper's parse,
+		// which is the correct failure mode.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	up := time.Since(s.started).Seconds()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"pid":        os.Getpid(),
+		"uptime_sec": up,
+	})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.progress
+	s.mu.Unlock()
+	if fn == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"error": "no progress source attached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, fn())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

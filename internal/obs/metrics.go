@@ -2,39 +2,51 @@ package obs
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"rocc/internal/des"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. Writes come from the
+// single simulation goroutine, but the live telemetry exporter
+// (internal/obs/live) reads counters from an HTTP handler while a run
+// mutates them, so both sides are atomic: a scrape observes a consistent
+// value without ever stalling the hot path.
 type Counter struct {
 	Name string
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Add increments the counter.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Gauge is a point-in-time value.
+// Gauge is a point-in-time value, readable concurrently with Set (the
+// float is stored as atomic bits).
 type Gauge struct {
 	Name string
-	v    float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a bucketed distribution with interpolated quantiles. The
 // bucket i counts observations in (bounds[i-1], bounds[i]]; one overflow
 // bucket catches everything above the last bound.
 type Histogram struct {
 	Name   string
+	// mu makes the histogram safe to snapshot from the live exporter
+	// while the simulation goroutine observes into it. The lock is
+	// uncontended on the hot path (the exporter grabs it only per
+	// scrape) and allocation-free, so staged Observe stays zero-alloc.
+	mu     sync.Mutex
 	bounds []float64
 	counts []uint64 // len(bounds)+1
 	total  uint64
@@ -84,14 +96,17 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // Observe records one value. With staging enabled (EnableStaging) the
 // value lands in the flat batch buffer; the bucket scan happens at flush.
 func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
 	if cap(h.staged) > 0 {
 		h.staged = append(h.staged, v)
 		if len(h.staged) == cap(h.staged) {
-			h.flush()
+			h.flushLocked()
 		}
+		h.mu.Unlock()
 		return
 	}
 	h.observe(v)
+	h.mu.Unlock()
 }
 
 // observe merges one value into the buckets.
@@ -120,12 +135,14 @@ func (h *Histogram) EnableStaging(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
-	h.flush()
+	h.mu.Lock()
+	h.flushLocked()
 	h.staged = make([]float64, 0, capacity)
+	h.mu.Unlock()
 }
 
-// flush merges staged observations into the buckets.
-func (h *Histogram) flush() {
+// flushLocked merges staged observations into the buckets; h.mu held.
+func (h *Histogram) flushLocked() {
 	for _, v := range h.staged {
 		h.observe(v)
 	}
@@ -134,13 +151,17 @@ func (h *Histogram) flush() {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
-	h.flush()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
 	return h.total
 }
 
 // Mean returns the exact mean of all observations (0 when empty).
 func (h *Histogram) Mean() float64 {
-	h.flush()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
 	if h.total == 0 {
 		return 0
 	}
@@ -149,7 +170,9 @@ func (h *Histogram) Mean() float64 {
 
 // Min returns the smallest observation (0 when empty).
 func (h *Histogram) Min() float64 {
-	h.flush()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
 	if h.total == 0 {
 		return 0
 	}
@@ -158,11 +181,43 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the largest observation (0 when empty).
 func (h *Histogram) Max() float64 {
-	h.flush()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
 	if h.total == 0 {
 		return 0
 	}
 	return h.max
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to read
+// while the run keeps observing: bucket counts (one overflow bucket past
+// the last bound), total, sum, and observed extremes.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is the overflow bucket
+	Total  uint64
+	Sum    float64
+	Min    float64 // +Inf when empty
+	Max    float64 // -Inf when empty
+}
+
+// Snapshot flushes staged observations and returns a consistent copy —
+// the race-safe read the live OpenMetrics exporter renders from.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
+	return HistogramSnapshot{
+		Name:   h.Name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Total:  h.total,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
 }
 
 // Quantile estimates the p-quantile (0 <= p <= 1) by locating the bucket
@@ -171,7 +226,9 @@ func (h *Histogram) Max() float64 {
 // clamped to the observed [Min, Max], which also gives exact answers for
 // the overflow bucket and single-bucket edge cases. Returns 0 when empty.
 func (h *Histogram) Quantile(p float64) float64 {
-	h.flush()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLocked()
 	if h.total == 0 {
 		return 0
 	}
@@ -213,20 +270,53 @@ func (h *Histogram) Quantile(p float64) float64 {
 // reset zeroes the histogram in place, discarding staged observations too
 // (they were recorded before the reset point).
 func (h *Histogram) reset() {
+	h.mu.Lock()
 	h.staged = h.staged[:0]
 	for i := range h.counts {
 		h.counts[i] = 0
 	}
 	h.total, h.sum = 0, 0
 	h.min, h.max = math.Inf(1), math.Inf(-1)
+	h.mu.Unlock()
 }
 
 // Series is one sampled time series: value V[i] observed at simulated
-// time T[i] (microseconds).
+// time T[i] (microseconds). The sampler appends under mu so the live
+// exporter can read Len/Last mid-run; post-run analysis code may keep
+// reading T/V directly — by then the run goroutine is done, so there is
+// no concurrent writer left to race with.
 type Series struct {
 	Name string
 	T    []float64
 	V    []float64
+
+	mu sync.Mutex
+}
+
+// append records one locked observation (the Sampler's write path).
+func (s *Series) append(t, v float64) {
+	s.mu.Lock()
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples recorded so far (safe mid-run).
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.T)
+}
+
+// Last returns the most recent (time, value) sample, with ok reporting
+// whether any sample exists yet (safe mid-run).
+func (s *Series) Last() (t, v float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.T) == 0 {
+		return 0, 0, false
+	}
+	return s.T[len(s.T)-1], s.V[len(s.V)-1], true
 }
 
 // Metrics is the run's metric registry: fixed counters covering the
@@ -289,12 +379,14 @@ func (m *Metrics) Series() []*Series { return m.series }
 // (warmup removal); probe registrations survive.
 func (m *Metrics) Reset() {
 	for _, c := range m.Counters() {
-		c.v = 0
+		c.v.Store(0)
 	}
 	m.Latency.reset()
 	for _, s := range m.series {
+		s.mu.Lock()
 		s.T = s.T[:0]
 		s.V = s.V[:0]
+		s.mu.Unlock()
 	}
 }
 
@@ -370,8 +462,7 @@ func (s *Sampler) tick() {
 	}
 	t := float64(s.sim.Now())
 	for _, p := range s.probes {
-		p.series.T = append(p.series.T, t)
-		p.series.V = append(p.series.V, p.read(t))
+		p.series.append(t, p.read(t))
 	}
 	s.sim.Schedule(s.interval, s.tickFn)
 }

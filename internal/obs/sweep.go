@@ -1,21 +1,12 @@
 package obs
 
-import "sync/atomic"
-
-// AtomicCounter is a goroutine-safe monotonic counter for layers that
-// record from many goroutines at once — the distributed sweep driver's
-// slot goroutines, retry timers, and local-fallback pool — unlike
-// Counter, which belongs to the single-goroutine simulator loop.
-type AtomicCounter struct {
-	Name string
-	v    atomic.Uint64
-}
-
-// Add increments the counter.
-func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
-
-// Value returns the current count.
-func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
+// AtomicCounter is a goroutine-safe monotonic counter. Since Counter
+// itself became atomic (so the live exporter can scrape a running
+// simulation), the two types are one and the same; the alias survives
+// for the layers that adopted AtomicCounter when it was distinct — the
+// distributed sweep driver's slot goroutines, retry timers, and
+// local-fallback pool.
+type AtomicCounter = Counter
 
 // SweepMetrics counts the fault-handling actions of a distributed sweep
 // (internal/dist): how often shards were retried, speculatively

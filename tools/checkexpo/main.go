@@ -1,0 +1,47 @@
+// Command checkexpo validates OpenMetrics text exposition — the format
+// the live monitoring endpoint serves on /metrics. It reads a file (or
+// stdin with "-"), runs the same structural validator the live package's
+// tests use, and reports the sample count; any malformed family, sample
+// line, or missing # EOF terminator is a non-zero exit. CI curls a
+// running sweep's /metrics through it.
+//
+// Usage:
+//
+//	checkexpo metrics.txt
+//	curl -s localhost:9090/metrics | go run ./tools/checkexpo -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rocc/internal/obs/live"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkexpo <file|->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	name := os.Args[1]
+	if name == "-" {
+		r = os.Stdin
+		name = "stdin"
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkexpo:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := live.ParseExposition(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkexpo: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid OpenMetrics exposition, %d samples\n", name, n)
+}
