@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"rocc/internal/forward"
@@ -84,14 +83,9 @@ func main() {
 		return
 	}
 
-	var p forward.Policy
-	switch strings.ToLower(*policy) {
-	case "cf":
-		p = forward.CF
-	case "bf":
-		p = forward.BF
-	default:
-		fatal("unknown policy %q", *policy)
+	p, err := forward.ParsePolicy(*policy)
+	if err != nil {
+		fatal("%v", err)
 	}
 	res, err := testbed.Run(mkCfg(p))
 	if err != nil {
@@ -120,14 +114,9 @@ func main() {
 // prints per-node and aggregate overheads.
 func runCluster(nodes int, kernel string, size int, policy string, batch int,
 	sp, duration time.Duration, pipeCap int, seed uint64, tree bool) {
-	var p forward.Policy
-	switch strings.ToLower(policy) {
-	case "cf":
-		p = forward.CF
-	case "bf":
-		p = forward.BF
-	default:
-		fatal("unknown policy %q", policy)
+	p, err := forward.ParsePolicy(policy)
+	if err != nil {
+		fatal("%v", err)
 	}
 	res, err := testbed.RunCluster(testbed.ClusterConfig{
 		Nodes:          nodes,

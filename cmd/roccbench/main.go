@@ -54,6 +54,7 @@ func main() {
 		plot      = flag.Bool("plot", false, "additionally render figures as ASCII charts")
 		paper     = flag.Bool("paper", false, "paper-scale options (100 s, r=50, 5 s testbed; slow)")
 		seed      = cli.Seed(flag.CommandLine)
+		policy    = cli.Policy(flag.CommandLine)
 		parallel  = cli.Parallel(flag.CommandLine)
 		jsonOut   = cli.JSON(flag.CommandLine)
 		outPath   = cli.Out(flag.CommandLine)
@@ -140,6 +141,10 @@ func main() {
 	}
 	opt.Parallel = *parallel
 	opt.DistWorkers = *distN
+	if policy.Given() {
+		spec := policy.Spec()
+		opt.Policy = &spec
+	}
 	if *httpAddr != "" {
 		opt.SweepMetrics = obs.NewSweepMetrics()
 		opt.Monitor = dist.NewMonitor()

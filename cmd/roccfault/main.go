@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rocc/internal/cli"
 	"rocc/internal/experiments"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "number of nodes (CPUs for SMP)")
 		spMS    = flag.Float64("sp", 20, "sampling period in milliseconds")
 		batch   = flag.Int("batch", 16, "batch size under the BF policy")
+		policy  = cli.Policy(flag.CommandLine)
 		dur     = flag.Float64("duration", 10, "simulated seconds per run")
 		seed    = flag.Uint64("seed", 1, "random seed (model and fault schedules)")
 	)
@@ -56,6 +58,10 @@ func main() {
 		SamplingPeriodUS: *spMS * 1000,
 		Nodes:            *nodes,
 		BatchSize:        *batch,
+	}
+	if policy.Given() {
+		spec := policy.Spec()
+		sw.Policy = &spec
 	}
 	if err := experiments.FaultSweep(os.Stdout, opt, sw); err != nil {
 		fatal("%v", err)

@@ -42,7 +42,7 @@ func main() {
 		procs    = flag.Int("procs", 1, "application processes per node (total for SMP)")
 		pds      = flag.Int("pds", 1, "Paradyn daemons (per node; total for SMP)")
 		spMS     = flag.Float64("sp", 40, "sampling period in milliseconds (0 = uninstrumented)")
-		policy   = flag.String("policy", "cf", "forwarding policy: cf or bf")
+		policy   = cli.Policy(flag.CommandLine)
 		batch    = flag.Int("batch", 32, "batch size under the BF policy")
 		fwd      = flag.String("forward", "direct", "forwarding configuration: direct or tree (MPP)")
 		dur      = flag.Float64("duration", 100, "simulated seconds")
@@ -100,23 +100,12 @@ func main() {
 	cfg.AppProcs = *procs
 	cfg.Pds = *pds
 	cfg.SamplingPeriod = *spMS * 1000
-	switch strings.ToLower(*policy) {
-	case "cf":
-		cfg.Policy = forward.CF
-	case "bf":
-		cfg.Policy = forward.BF
-		cfg.BatchSize = *batch
-	default:
-		fatal("unknown policy %q", *policy)
+	policy.Apply(&cfg.Policy, &cfg.BatchSize, &cfg.Strategy, *batch)
+	fwdCfg, err := forward.ParseConfig(*fwd)
+	if err != nil {
+		fatal("%v", err)
 	}
-	switch strings.ToLower(*fwd) {
-	case "direct":
-		cfg.Forwarding = forward.Direct
-	case "tree":
-		cfg.Forwarding = forward.Tree
-	default:
-		fatal("unknown forwarding %q", *fwd)
-	}
+	cfg.Forwarding = fwdCfg
 	cfg.Duration = *dur * 1e6
 	cfg.Seed = *seed
 	cfg.PipeCapacity = *pipeCap
@@ -332,11 +321,21 @@ func openLogger(dest, level string) *obs.Logger {
 	return obs.NewLogger(f, lv)
 }
 
+// policyLabel renders the forwarding policy for titles: the strategy's
+// -policy spec when one is wired, the legacy "CF(batch 1)"/"BF(batch n)"
+// form otherwise (so legacy output is unchanged).
+func policyLabel(cfg core.Config) string {
+	if cfg.Strategy != nil {
+		return cfg.Strategy.String()
+	}
+	return fmt.Sprintf("%s(batch %d)", cfg.Policy, cfg.BatchSize)
+}
+
 // printResult renders the metric table for a (possibly replicated) run.
 func printResult(w io.Writer, cfg core.Config, rep core.Replicated, reps int) error {
 	res := rep.Results[0]
-	t := report.NewTable(fmt.Sprintf("ROCC simulation: %s, %d nodes, SP=%.1f ms, %s(batch %d), %s forwarding",
-		cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, cfg.Policy, cfg.BatchSize, cfg.Forwarding),
+	t := report.NewTable(fmt.Sprintf("ROCC simulation: %s, %d nodes, SP=%.1f ms, %s, %s forwarding",
+		cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, policyLabel(cfg), cfg.Forwarding),
 		"metric", "value")
 	row := func(name string, m core.Metric) {
 		if reps > 1 {
@@ -368,6 +367,12 @@ func printResult(w io.Writer, cfg core.Config, rep core.Replicated, reps int) er
 	t.AddRow("samples received", fmt.Sprint(res.SamplesReceived))
 	t.AddRow("messages merged (tree)", fmt.Sprint(res.MessagesMerged))
 	t.AddRow("blocked pipe writes", fmt.Sprint(res.BlockedPuts))
+	if res.AdaptiveFinalBatchMean > 0 {
+		t.AddRow("adaptive batch target (final mean)", report.F(res.AdaptiveFinalBatchMean))
+		t.AddRow("adaptive batch target (final min-max)",
+			fmt.Sprintf("%d-%d", res.AdaptiveFinalBatchMin, res.AdaptiveFinalBatchMax))
+		t.AddRow("adaptive adjustments", fmt.Sprint(res.AdaptiveAdjustments))
+	}
 	if res.BarrierReleases > 0 {
 		t.AddRow("barrier releases", fmt.Sprint(res.BarrierReleases))
 	}

@@ -22,7 +22,6 @@ import (
 
 	"rocc/internal/cli"
 	"rocc/internal/core"
-	"rocc/internal/forward"
 	"rocc/internal/obs"
 	"rocc/internal/obs/live"
 	"rocc/internal/report"
@@ -34,7 +33,7 @@ func main() {
 		arch    = flag.String("arch", "now", "architecture: now, smp, mpp")
 		nodes   = flag.Int("nodes", 8, "number of nodes (CPUs for SMP)")
 		spMS    = flag.Float64("sp", 40, "sampling period in milliseconds")
-		policy  = flag.String("policy", "cf", "forwarding policy: cf or bf")
+		policy  = cli.Policy(flag.CommandLine)
 		batch   = flag.Int("batch", 32, "batch size under the BF policy")
 		dur     = flag.Float64("duration", 10, "simulated seconds")
 		seed    = flag.Uint64("seed", 1, "random seed")
@@ -74,15 +73,7 @@ func main() {
 	}
 	cfg.Nodes = *nodes
 	cfg.SamplingPeriod = *spMS * 1000
-	switch strings.ToLower(*policy) {
-	case "cf":
-		cfg.Policy = forward.CF
-	case "bf":
-		cfg.Policy = forward.BF
-		cfg.BatchSize = *batch
-	default:
-		fatal("unknown policy %q", *policy)
-	}
+	policy.Apply(&cfg.Policy, &cfg.BatchSize, &cfg.Strategy, *batch)
 	cfg.Duration = *dur * 1e6
 	cfg.Seed = *seed
 
@@ -122,8 +113,12 @@ func main() {
 			len(c.Sink.Spans()), len(c.Sink.Events()), *export)
 	}
 
+	policyName := fmt.Sprint(cfg.Policy)
+	if cfg.Strategy != nil {
+		policyName = cfg.Strategy.String()
+	}
 	ct := report.NewTable(
-		fmt.Sprintf("Telemetry: %s, %d nodes, SP=%.1f ms, %s", cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, cfg.Policy),
+		fmt.Sprintf("Telemetry: %s, %d nodes, SP=%.1f ms, %s", cfg.Arch, cfg.Nodes, cfg.SamplingPeriod/1000, policyName),
 		"counter", "count")
 	for _, cnt := range c.Metrics.Counters() {
 		ct.AddRow(cnt.Name, fmt.Sprint(cnt.Value()))

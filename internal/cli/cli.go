@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +13,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"rocc/internal/forward"
 )
 
 // JSON registers -json: machine-readable output instead of text tables.
@@ -133,6 +136,74 @@ func (v httpValue) Set(raw string) error {
 	}
 	*v.a = s
 	return nil
+}
+
+// Policy registers -policy: the forwarding-strategy spec shared by
+// roccsim, roccbench, and roccfault. Malformed specs (unknown kinds,
+// bf:0, abf:-1) are rejected at parse time with a usage error. The
+// default is the zero spec, which callers treat as "flag not given"
+// (Given reports false).
+func Policy(fs *flag.FlagSet) *PolicyValue {
+	v := new(PolicyValue)
+	fs.Var(v, "policy",
+		"forwarding strategy: cf, bf (tool's batch default), bf:<n>, abf, or abf:<latency ms>")
+	return v
+}
+
+// PolicyValue is the parsed -policy flag.
+type PolicyValue struct {
+	spec  forward.StrategySpec
+	given bool
+}
+
+// String implements flag.Value.
+func (v *PolicyValue) String() string {
+	if v == nil || !v.given {
+		return ""
+	}
+	return v.spec.String()
+}
+
+// Set implements flag.Value, validating the spec at parse time.
+func (v *PolicyValue) Set(raw string) error {
+	spec, err := forward.ParseStrategySpec(raw)
+	if err != nil {
+		return errors.New(strings.TrimPrefix(err.Error(), "forward: "))
+	}
+	v.spec = spec
+	v.given = true
+	return nil
+}
+
+// Given reports whether -policy appeared on the command line.
+func (v *PolicyValue) Given() bool { return v.given }
+
+// Spec returns the parsed strategy spec (the zero spec if not given).
+func (v *PolicyValue) Spec() forward.StrategySpec { return v.spec }
+
+// Apply writes the spec onto a core-style destination: an adaptive spec
+// installs the strategy, a fixed spec sets the legacy Policy/BatchSize
+// fields (so legacy paths — and their golden outputs — stay engaged for
+// cf/bf). defaultBatch supplies the tool's -batch default for bare "bf".
+func (v *PolicyValue) Apply(p *forward.Policy, batch *int, strategy *forward.Strategy, defaultBatch int) {
+	if !v.given {
+		return
+	}
+	switch {
+	case v.spec.Adaptive:
+		*p = forward.BF
+		*strategy = v.spec.NewStrategy(defaultBatch)
+	case v.spec.Policy == forward.CF:
+		*p = forward.CF
+		*batch = 1
+	default:
+		*p = forward.BF
+		if v.spec.Batch > 0 {
+			*batch = v.spec.Batch
+		} else if defaultBatch > 0 {
+			*batch = defaultBatch
+		}
+	}
 }
 
 // nopCloser wraps stdout so Output callers can defer Close uniformly.

@@ -1,0 +1,132 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"rocc/internal/forward"
+)
+
+func newPolicyFS() (*flag.FlagSet, *PolicyValue) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs, Policy(fs)
+}
+
+func TestPolicyFlagParses(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want forward.StrategySpec
+	}{
+		{"cf", forward.StrategySpec{Policy: forward.CF, Batch: 1}},
+		{"bf", forward.StrategySpec{Policy: forward.BF}},
+		{"bf:16", forward.StrategySpec{Policy: forward.BF, Batch: 16}},
+		{"abf", forward.StrategySpec{Policy: forward.BF, Adaptive: true}},
+		{"abf:2.5", forward.StrategySpec{Policy: forward.BF, Adaptive: true, TargetMS: 2.5}},
+	}
+	for _, c := range cases {
+		fs, v := newPolicyFS()
+		if err := fs.Parse([]string{"-policy", c.arg}); err != nil {
+			t.Errorf("-policy %s: %v", c.arg, err)
+			continue
+		}
+		if !v.Given() {
+			t.Errorf("-policy %s: Given() false", c.arg)
+		}
+		if v.Spec() != c.want {
+			t.Errorf("-policy %s: spec %+v, want %+v", c.arg, v.Spec(), c.want)
+		}
+	}
+}
+
+func TestPolicyFlagNotGiven(t *testing.T) {
+	fs, v := newPolicyFS()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.Given() {
+		t.Fatal("Given() true without the flag")
+	}
+	// Apply must be a no-op when the flag was not given.
+	p, batch := forward.CF, 99
+	var strat forward.Strategy
+	v.Apply(&p, &batch, &strat, 32)
+	if p != forward.CF || batch != 99 || strat != nil {
+		t.Fatalf("Apply without flag mutated state: %v %d %v", p, batch, strat)
+	}
+}
+
+// Malformed specs are usage errors at flag-parse time, before any run
+// starts, with the parser's descriptive message.
+func TestPolicyFlagRejectsMalformed(t *testing.T) {
+	cases := []struct{ arg, wantSub string }{
+		{"bf:0", "batch size must be an integer >= 1"},
+		{"bf:-1", "batch size must be an integer >= 1"},
+		{"abf:-1", "latency budget must be a positive number"},
+		{"abf:0", "latency budget must be a positive number"},
+		{"cf:2", "cf takes no argument"},
+		{"zz", "unknown policy spec"},
+	}
+	for _, c := range cases {
+		fs, _ := newPolicyFS()
+		err := fs.Parse([]string{"-policy", c.arg})
+		if err == nil {
+			t.Errorf("-policy %s: expected parse error", c.arg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("-policy %s: error %q, want substring %q", c.arg, err, c.wantSub)
+		}
+	}
+}
+
+func TestPolicyApply(t *testing.T) {
+	apply := func(arg string) (forward.Policy, int, forward.Strategy) {
+		fs, v := newPolicyFS()
+		if err := fs.Parse([]string{"-policy", arg}); err != nil {
+			t.Fatalf("-policy %s: %v", arg, err)
+		}
+		p, batch := forward.CF, 0
+		var strat forward.Strategy
+		v.Apply(&p, &batch, &strat, 32)
+		return p, batch, strat
+	}
+
+	if p, batch, strat := apply("cf"); p != forward.CF || batch != 1 || strat != nil {
+		t.Fatalf("cf applied %v %d %v", p, batch, strat)
+	}
+	if p, batch, strat := apply("bf:16"); p != forward.BF || batch != 16 || strat != nil {
+		t.Fatalf("bf:16 applied %v %d %v", p, batch, strat)
+	}
+	// Bare bf takes the tool's -batch default, keeping the legacy fields
+	// (and golden outputs) engaged.
+	if p, batch, strat := apply("bf"); p != forward.BF || batch != 32 || strat != nil {
+		t.Fatalf("bf applied %v %d %v", p, batch, strat)
+	}
+	// Adaptive installs a Strategy rather than the legacy fields.
+	p, _, strat := apply("abf")
+	if p != forward.BF || strat == nil {
+		t.Fatalf("abf applied %v strategy %v", p, strat)
+	}
+	if strat.String() != "abf" {
+		t.Fatalf("abf strategy renders %q", strat.String())
+	}
+	if _, _, strat := apply("abf:1.5"); strat == nil || strat.String() != "abf:1.5" {
+		t.Fatalf("abf:1.5 strategy %v", strat)
+	}
+}
+
+func TestPolicyFlagStringRendersSpec(t *testing.T) {
+	fs, v := newPolicyFS()
+	if v.String() != "" {
+		t.Fatalf("zero value String %q", v.String())
+	}
+	if err := fs.Parse([]string{"-policy", "BF:8"}); err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "bf:8" {
+		t.Fatalf("String %q, want bf:8", v.String())
+	}
+}

@@ -147,9 +147,20 @@ type Config struct {
 	SamplingPeriod float64
 
 	// Policy and BatchSize select CF or BF forwarding; CF forces an
-	// effective batch of one.
+	// effective batch of one. They are the legacy closed-enum surface:
+	// Validate maps them onto the equivalent forward.Strategy when
+	// Strategy is nil, byte-identically to the pre-strategy model.
 	Policy    forward.Policy
 	BatchSize int
+
+	// Strategy, when non-nil, overrides Policy/BatchSize with a pluggable
+	// forwarding strategy (forward.NewCF, forward.NewFixedBF,
+	// forward.NewAdaptiveBF, or a custom implementation). The value is a
+	// prototype: each daemon receives its own Clone, so stateful
+	// controllers never share state across daemons. For informational
+	// surfaces (scenario specs, result labels) Policy/BatchSize are kept
+	// coherent when a built-in strategy is recognized.
+	Strategy forward.Strategy
 
 	// Forwarding selects direct or binary-tree forwarding (MPP).
 	Forwarding forward.Config
@@ -340,10 +351,33 @@ func (c Config) Validate() (Config, error) {
 	if c.Quantum <= 0 {
 		c.Quantum = 10000
 	}
-	if c.Policy == forward.CF {
-		c.BatchSize = 1
-	} else if c.BatchSize < 1 {
-		return c, errors.New("core: BF policy needs BatchSize >= 1")
+	if c.Strategy == nil {
+		if c.Policy == forward.CF {
+			c.BatchSize = 1
+		} else if c.BatchSize < 1 {
+			return c, errors.New("core: BF policy needs BatchSize >= 1")
+		}
+	} else {
+		if v, ok := c.Strategy.(forward.Validator); ok {
+			if err := v.Validate(); err != nil {
+				return c, err
+			}
+		}
+		// Keep the legacy fields coherent for labels and scenario specs:
+		// built-in strategies render as -policy specs, which recover the
+		// equivalent Policy/BatchSize. Custom strategies label as BF.
+		if spec, err := forward.ParseStrategySpec(c.Strategy.String()); err == nil {
+			c.Policy = spec.Policy
+			if !spec.Adaptive {
+				if spec.Policy == forward.CF {
+					c.BatchSize = 1
+				} else if spec.Batch > 0 {
+					c.BatchSize = spec.Batch
+				}
+			}
+		} else {
+			c.Policy = forward.BF
+		}
 	}
 	if c.Workload == (Workload{}) {
 		c.Workload = DefaultWorkload()

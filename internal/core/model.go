@@ -61,6 +61,16 @@ const (
 	streamOther
 )
 
+// cloneStrategy hands each daemon its own strategy instance; nil (the
+// legacy Policy/BatchSize path) passes through so the daemon derives the
+// equivalent built-in itself.
+func cloneStrategy(s forward.Strategy) forward.Strategy {
+	if s == nil {
+		return nil
+	}
+	return s.Clone()
+}
+
 func streamID(kind, node, idx int) uint64 {
 	return uint64(kind)<<40 | uint64(node)<<20 | uint64(idx)
 }
@@ -212,6 +222,7 @@ func (m *Model) buildPerNode(master *rng.Stream) {
 				R:            master.Derive(streamID(streamPd, node, k)),
 				Policy:       cfg.Policy,
 				BatchSize:    cfg.BatchSize,
+				Strategy:     cloneStrategy(cfg.Strategy),
 				Cost:         cfg.Cost,
 				Node:         node,
 				FlushTimeout: cfg.FlushTimeout,
@@ -289,6 +300,7 @@ func (m *Model) buildSMP(master *rng.Stream) {
 			R:            master.Derive(streamID(streamPd, 0, k)),
 			Policy:       cfg.Policy,
 			BatchSize:    cfg.BatchSize,
+			Strategy:     cloneStrategy(cfg.Strategy),
 			Cost:         cfg.Cost,
 			Node:         0,
 			FlushTimeout: cfg.FlushTimeout,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"rocc/internal/forward"
 	"rocc/internal/procs"
 )
 
@@ -71,6 +72,14 @@ type Result struct {
 	SamplesThinned        int     // samples dropped by degradation thinning
 	DegradedResidencySec  float64 // time daemons spent in degraded mode
 	DegradeEngagements    int     // entries into degraded mode
+
+	// Adaptive forwarding-strategy telemetry (populated only when the run
+	// used forward.AdaptiveBFStrategy; zero — and omitted from JSON — for
+	// CF/fixed-BF runs, keeping legacy output byte-identical).
+	AdaptiveFinalBatchMean float64 `json:",omitempty"` // mean final batch target across daemons
+	AdaptiveFinalBatchMin  int     `json:",omitempty"` // smallest final target
+	AdaptiveFinalBatchMax  int     `json:",omitempty"` // largest final target
+	AdaptiveAdjustments    int     `json:",omitempty"` // total control decisions taken
 
 	SamplesGenerated int
 	SamplesReceived  int
@@ -156,6 +165,31 @@ func (m *Model) collect() Result {
 		}
 	}
 	res.PdThroughputPerSec = float64(pdSamples) / durSec
+
+	var adaptiveDaemons int
+	for _, d := range m.Daemons {
+		ab, ok := d.Strategy.(*forward.AdaptiveBFStrategy)
+		if !ok {
+			continue
+		}
+		t := ab.Target()
+		if adaptiveDaemons == 0 {
+			res.AdaptiveFinalBatchMin, res.AdaptiveFinalBatchMax = t, t
+		} else {
+			if t < res.AdaptiveFinalBatchMin {
+				res.AdaptiveFinalBatchMin = t
+			}
+			if t > res.AdaptiveFinalBatchMax {
+				res.AdaptiveFinalBatchMax = t
+			}
+		}
+		res.AdaptiveFinalBatchMean += float64(t)
+		res.AdaptiveAdjustments += len(ab.Adjustments())
+		adaptiveDaemons++
+	}
+	if adaptiveDaemons > 0 {
+		res.AdaptiveFinalBatchMean /= float64(adaptiveDaemons)
+	}
 
 	if m.Inj != nil {
 		t := m.Inj.Totals()

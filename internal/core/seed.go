@@ -16,6 +16,11 @@ const (
 	// SeedStreamCrossVal derives per-cell base seeds of a cross-validation
 	// grid run (internal/xval).
 	SeedStreamCrossVal
+	// SeedStreamAdaptive derives per-cell base seeds of the adaptive
+	// batching sweep (ext-adaptive-bf). Every policy variant of a cell
+	// replays the same replication seeds, so variant comparisons share
+	// their workload randomness and common-mode noise cancels.
+	SeedStreamAdaptive
 )
 
 // mixSeed is the SplitMix64 output finalizer: a bijective avalanche over

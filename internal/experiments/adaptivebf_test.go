@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The ISSUE 9 acceptance gate: on the statistically dense cells of the
+// Figure 19 grid, the default adaptive controller reaches a mean
+// forwarding latency within 15% of the best per-cell fixed batch while
+// keeping daemon per-sample CPU within 10% of it — with no per-scenario
+// tuning.
+//
+// The gate runs the 1 ms and 8 ms sampling periods only: at 40/64 ms a
+// 10-second replication carries just tens of forwarded messages, so the
+// per-cell argmin over five fixed batches is an order statistic of noise
+// (its winner can sit below the true mean), not a meaningful oracle.
+// The dense cells give the oracle hundreds-to-thousands of messages per
+// replication.
+func TestAdaptiveBFMeetsGateOnDenseCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication sweep")
+	}
+	opt := Options{DurationUS: 10e6, Reps: 3}
+	ab := DefaultAdaptiveBF()
+	ab.SamplingPeriodsMS = []float64{1, 8}
+	cells, err := RunAdaptiveBFSweep(opt, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expected 4 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		latRatio, cpuRatio := c.Ratios()
+		if c.Adaptive.ForwardLatencySec <= 0 {
+			t.Errorf("sp=%v nodes=%d: adaptive candidate delivered no data",
+				c.SamplingPeriodMS, c.Nodes)
+			continue
+		}
+		if latRatio > 1.15 {
+			t.Errorf("sp=%v nodes=%d: adaptive latency ratio %.3f vs %s exceeds 1.15",
+				c.SamplingPeriodMS, c.Nodes, latRatio, c.Best.Policy)
+		}
+		if cpuRatio > 1.10 {
+			t.Errorf("sp=%v nodes=%d: adaptive CPU ratio %.3f vs %s exceeds 1.10",
+				c.SamplingPeriodMS, c.Nodes, cpuRatio, c.Best.Policy)
+		}
+	}
+}
+
+// The sweep is byte-reproducible at any worker-pool size: seeds are
+// pre-derived per cell and results aggregate in index order.
+func TestAdaptiveBFSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication sweep")
+	}
+	opt := Options{DurationUS: 2e6, Reps: 2}
+	ab := AdaptiveBFOptions{
+		SamplingPeriodsMS: []float64{8},
+		Nodes:             []int{2},
+		Batches:           []int{4, 16},
+	}
+	opt.Parallel = 1
+	serial, err := RunAdaptiveBFSweep(opt, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 4
+	pooled, err := RunAdaptiveBFSweep(opt, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("sweep differs between worker counts:\n%+v\n%+v", serial, pooled)
+	}
+}

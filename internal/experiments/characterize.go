@@ -156,13 +156,16 @@ func runTable2(w io.Writer, opt Options) error {
 				fit.Best.Dist.String(), report.F(fit.Best.KS))
 		}
 	}
-	for key, m := range map[string]float64{
-		"Paradyn daemon: inter-arrival (sampling period)": c.SamplingPeriod(),
-		"PVM daemon: inter-arrival":                       c.Interarrival[workload.ClassResource{Class: trace.ProcPvmd, Resource: trace.CPU}],
-		"Other: inter-arrival of CPU requests":            c.Interarrival[workload.ClassResource{Class: trace.ProcOther, Resource: trace.CPU}],
-		"Other: inter-arrival of network requests":        c.Interarrival[workload.ClassResource{Class: trace.ProcOther, Resource: trace.Network}],
+	for _, ia := range []struct {
+		key string
+		m   float64
+	}{
+		{"Paradyn daemon: inter-arrival (sampling period)", c.SamplingPeriod()},
+		{"PVM daemon: inter-arrival", c.Interarrival[workload.ClassResource{Class: trace.ProcPvmd, Resource: trace.CPU}]},
+		{"Other: inter-arrival of CPU requests", c.Interarrival[workload.ClassResource{Class: trace.ProcOther, Resource: trace.CPU}]},
+		{"Other: inter-arrival of network requests", c.Interarrival[workload.ClassResource{Class: trace.ProcOther, Resource: trace.Network}]},
 	} {
-		t.AddRow(key, fmt.Sprintf("exponential(%s)", report.F(m)), "")
+		t.AddRow(ia.key, fmt.Sprintf("exponential(%s)", report.F(ia.m)), "")
 	}
 	return t.Render(w)
 }

@@ -19,6 +19,7 @@ import (
 
 	"rocc/internal/des"
 	"rocc/internal/dist"
+	"rocc/internal/forward"
 	"rocc/internal/obs"
 )
 
@@ -51,6 +52,12 @@ type Options struct {
 	// distributed workers — which always run the auto selection — stay
 	// output-compatible regardless of this setting.
 	Calendar des.CalendarKind
+	// Policy, when non-nil, overrides the candidate forwarding strategy of
+	// the experiments that take one (roccbench -policy): ext-adaptive-bf
+	// swaps its adaptive candidate for this spec. Experiments whose policy
+	// axis the paper pins (the tables and figures) ignore it, so their
+	// output stays byte-identical.
+	Policy *forward.StrategySpec
 	// SweepMetrics, Monitor, and Trace attach live telemetry to the
 	// distributed factorial runs (DistWorkers > 0): fault counters for a
 	// /metrics exposition, shard progress for /progress, and the merged

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"rocc/internal/core"
 	"rocc/internal/faults"
@@ -39,6 +40,12 @@ type FaultSweepOptions struct {
 	Nodes int
 	// BatchSize is the BF batch size.
 	BatchSize int
+	// Policy, when non-nil, pins the policy axis (roccfault -policy):
+	// only matrix rows of the matching family run (cf keeps the CF rows,
+	// bf and abf the BF rows), an explicit bf:<n> overrides BatchSize, and
+	// an adaptive spec installs the controller on the surviving rows. Nil
+	// sweeps the full CF × BF matrix exactly as before.
+	Policy *forward.StrategySpec
 }
 
 // DefaultFaultSweep returns the default sweep: 1%, 5%, and 10% loss with
@@ -66,9 +73,10 @@ func (v faultVariant) label() (string, string, string) {
 
 // faultVariants enumerates the survivability matrix: CF and BF on each
 // architecture, plus tree forwarding for MPP (the only architecture the
-// model supports it on).
-func faultVariants() []faultVariant {
-	out := []faultVariant{
+// model supports it on). A non-nil pin keeps only the rows of its policy
+// family (abf pins to the BF rows).
+func faultVariants(pin *forward.StrategySpec) []faultVariant {
+	all := []faultVariant{
 		{core.NOW, forward.CF, forward.Direct},
 		{core.NOW, forward.BF, forward.Direct},
 		{core.SMP, forward.CF, forward.Direct},
@@ -77,6 +85,15 @@ func faultVariants() []faultVariant {
 		{core.MPP, forward.CF, forward.Tree},
 		{core.MPP, forward.BF, forward.Direct},
 		{core.MPP, forward.BF, forward.Tree},
+	}
+	if pin == nil {
+		return all
+	}
+	var out []faultVariant
+	for _, v := range all {
+		if v.policy == pin.Policy {
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -101,6 +118,9 @@ func FaultSweep(w io.Writer, opt Options, sw FaultSweepOptions) error {
 	if sw.BatchSize <= 0 {
 		sw.BatchSize = 16
 	}
+	if sw.Policy != nil && sw.Policy.Batch > 0 {
+		sw.BatchSize = sw.Policy.Batch
+	}
 
 	title := "IS survivability under injected faults"
 	if sw.CrashMTBFUS > 0 {
@@ -124,7 +144,7 @@ func FaultSweep(w io.Writer, opt Options, sw FaultSweepOptions) error {
 		plan faults.Plan
 	}
 	var cells []cell
-	for _, v := range faultVariants() {
+	for _, v := range faultVariants(sw.Policy) {
 		for li, loss := range sw.LossLevels {
 			plan := faults.Plan{
 				Seed:        core.DeriveSeed(opt.Seed, core.SeedStreamFault, uint64(li)),
@@ -147,6 +167,9 @@ func FaultSweep(w io.Writer, opt Options, sw FaultSweepOptions) error {
 	for k := 0; k < len(cells); k += 2 {
 		bare, res := results[k], results[k+1]
 		arch, pol, fwd := cells[k].v.label()
+		if sw.Policy != nil && sw.Policy.Adaptive {
+			pol = strings.ToUpper(sw.Policy.String())
+		}
 		t.AddRow(arch, pol, fwd, report.F(cells[k].loss*100),
 			report.F(delivered(bare)), report.F(delivered(res)),
 			fmt.Sprintf("%d", res.Retransmits),
@@ -175,6 +198,9 @@ func runFaultVariant(v faultVariant, sw FaultSweepOptions, opt Options, plan fau
 	cfg.Forwarding = v.fwd
 	if v.policy == forward.BF {
 		cfg.BatchSize = sw.BatchSize
+	}
+	if sw.Policy != nil && sw.Policy.Adaptive && v.policy == forward.BF {
+		cfg.Strategy = sw.Policy.NewStrategy(sw.BatchSize)
 	}
 	if v.arch == core.SMP {
 		// SMP: AppProcs is the machine total, one process per CPU.

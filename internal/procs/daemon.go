@@ -32,6 +32,15 @@ type PdDaemon struct {
 	Cost      forward.CostModel
 	Node      int
 
+	// Strategy schedules forwarding: each time the daemon is free it asks
+	// the strategy whether to forward a batch, keep accumulating, or flush
+	// everything, and reports completion feedback for every batch it
+	// collects locally. Nil derives the strategy from the legacy
+	// Policy/BatchSize pair (CF forces batch 1), which reproduces the
+	// pre-strategy daemon byte for byte. Each daemon must own its instance
+	// (the model wires one Clone per daemon).
+	Strategy forward.Strategy
+
 	// Deliver routes a fully transmitted message to its destination (the
 	// parent daemon's Receive or the main process); wired up by the model.
 	Deliver func(msg *forward.Message)
@@ -81,11 +90,25 @@ func (d *PdDaemon) ResetAccounting() {
 	d.CrashLostSamples = 0
 }
 
-// Start registers the daemon's pipe wake-ups.
+// Start registers the daemon's pipe wake-ups and resolves the forwarding
+// strategy (deriving it from the legacy Policy/BatchSize fields if none
+// was wired, and seeding cost-model-aware strategies).
 func (d *PdDaemon) Start() {
+	if cs, ok := d.strategy().(forward.CostSeeder); ok {
+		cs.SeedFromCost(d.Cost)
+	}
 	for _, p := range d.Pipes {
 		p.SetOnData(d.Wake)
 	}
+}
+
+// strategy returns the daemon's forwarding strategy, deriving the legacy
+// one on first use.
+func (d *PdDaemon) strategy() forward.Strategy {
+	if d.Strategy == nil {
+		d.Strategy = forward.FromPolicy(d.Policy, d.BatchSize)
+	}
+	return d.Strategy
 }
 
 // Down reports whether the daemon is currently crashed.
@@ -128,24 +151,15 @@ func (d *PdDaemon) Restore() {
 	d.Wake()
 }
 
-// batchThreshold returns the number of samples BF waits for, clamped to
-// the total buffering available so an oversized batch cannot deadlock.
-func (d *PdDaemon) batchThreshold() int {
-	if d.Policy == forward.CF {
-		return 1
-	}
-	thr := d.BatchSize
-	if thr < 1 {
-		thr = 1
-	}
+// capacity returns the daemon's total buffering — pipe capacities plus
+// one blocked writer per pipe — the clamp that keeps any batch target
+// reachable so forwarding cannot deadlock.
+func (d *PdDaemon) capacity() int {
 	capTotal := 0
 	for _, p := range d.Pipes {
 		capTotal += p.Cap() + 1 // +1: one blocked writer per pipe can refill
 	}
-	if thr > capTotal && capTotal > 0 {
-		thr = capTotal
-	}
-	return thr
+	return capTotal
 }
 
 func (d *PdDaemon) available() int {
@@ -202,9 +216,32 @@ func (d *PdDaemon) Wake() {
 		})
 		return
 	}
-	thr := d.batchThreshold()
-	for d.available() >= thr {
-		batch := d.drain(thr)
+	capTotal := d.capacity()
+	strat := d.strategy()
+	for {
+		avail := d.available()
+		if avail == 0 {
+			break
+		}
+		act, want := strat.Decide(d.Sim.Now(), avail, capTotal)
+		switch act {
+		case forward.Accumulate:
+			// Partial batch pending: arm the flush timer if configured.
+			if d.FlushTimeout > 0 && d.flushTimer == nil {
+				d.flushTimer = d.Sim.Schedule(d.FlushTimeout, d.flush)
+			}
+			return
+		case forward.FlushAll:
+			want = avail
+		default: // ForwardNow: clamp to what is reachable
+			if want < 1 {
+				want = 1
+			}
+			if want > capTotal && capTotal > 0 {
+				want = capTotal
+			}
+		}
+		batch := d.drain(want)
 		if len(batch) == 0 {
 			continue // batch fully thinned away; keep draining
 		}
@@ -216,16 +253,38 @@ func (d *PdDaemon) Wake() {
 				d.CrashLostSamples += len(batch)
 				return
 			}
+			d.observe(strat, batch, capTotal)
 			d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
 			d.busy = false
 			d.Wake()
 		})
 		return
 	}
-	// Partial batch pending: arm the flush timer if configured.
-	if d.FlushTimeout > 0 && d.available() > 0 && d.flushTimer == nil {
-		d.flushTimer = d.Sim.Schedule(d.FlushTimeout, d.flush)
+}
+
+// observe reports one locally collected batch's completion feedback to
+// the strategy, at the simulated instant the message is handed to the
+// network. Every input is a simulated-clock or buffer-state quantity, so
+// feedback-driven strategies remain byte-reproducible.
+func (d *PdDaemon) observe(strat forward.Strategy, batch []resources.Sample, capTotal int) {
+	now := d.Sim.Now()
+	newest, oldest := batch[0].GenTime, batch[0].GenTime
+	for _, s := range batch[1:] {
+		if s.GenTime > newest {
+			newest = s.GenTime
+		}
+		if s.GenTime < oldest {
+			oldest = s.GenTime
+		}
 	}
+	strat.Observe(forward.Feedback{
+		Now:         now,
+		Samples:     len(batch),
+		NewestAgeUS: now - newest,
+		OldestAgeUS: now - oldest,
+		Buffered:    d.available(),
+		Capacity:    capTotal,
+	})
 }
 
 // flush forwards whatever samples are buffered, regardless of batch size.
@@ -238,6 +297,8 @@ func (d *PdDaemon) flush() {
 	if len(batch) == 0 {
 		return
 	}
+	capTotal := d.capacity()
+	strat := d.strategy()
 	d.busy = true
 	epoch := d.epoch
 	d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
@@ -245,6 +306,7 @@ func (d *PdDaemon) flush() {
 			d.CrashLostSamples += len(batch)
 			return
 		}
+		d.observe(strat, batch, capTotal)
 		d.send(&forward.Message{Samples: batch, FromNode: d.Node, Hops: 1})
 		d.busy = false
 		d.Wake()

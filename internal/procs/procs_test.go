@@ -255,7 +255,10 @@ func TestDaemonBatchClampedToPipeCapacity(t *testing.T) {
 	// Batch larger than total buffering must clamp, not deadlock.
 	r := newRig(4)
 	d, _ := newDaemon(r, forward.BF, 1000)
-	if thr := d.batchThreshold(); thr != 5 { // cap 4 + 1 blocked writer
+	if capTotal := d.capacity(); capTotal != 5 { // cap 4 + 1 blocked writer
+		t.Fatalf("capacity %d, want 5", capTotal)
+	}
+	if _, thr := d.strategy().Decide(0, 5, d.capacity()); thr != 5 {
 		t.Fatalf("threshold %d, want 5", thr)
 	}
 }

@@ -108,7 +108,7 @@ type Spec struct {
 	AppProcs       int          `json:"app_procs"`
 	Pds            int          `json:"pds,omitempty"`
 	SamplingPeriod float64      `json:"sampling_period_us"`
-	Policy         string       `json:"policy"` // cf, bf
+	Policy         string       `json:"policy"` // a -policy spec: cf, bf, bf:<n>, abf, abf:<ms>
 	BatchSize      int          `json:"batch_size,omitempty"`
 	Forwarding     string       `json:"forwarding,omitempty"` // direct, tree
 	PipeCapacity   int          `json:"pipe_capacity,omitempty"`
@@ -142,22 +142,30 @@ func (s Spec) Config() (core.Config, error) {
 		cfg.Pds = s.Pds
 	}
 	cfg.SamplingPeriod = s.SamplingPeriod
-	switch strings.ToLower(s.Policy) {
-	case "cf", "":
-		cfg.Policy = forward.CF
-	case "bf":
-		cfg.Policy = forward.BF
-		cfg.BatchSize = s.BatchSize
-	default:
-		return cfg, fmt.Errorf("scenario: unknown policy %q", s.Policy)
+	if s.Policy != "" {
+		pspec, err := forward.ParseStrategySpec(s.Policy)
+		if err != nil {
+			return cfg, fmt.Errorf("scenario: %w", err)
+		}
+		switch {
+		case pspec.Adaptive:
+			cfg.Strategy = pspec.NewStrategy(0)
+		case pspec.Policy == forward.CF:
+			cfg.Policy = forward.CF
+		default:
+			cfg.Policy = forward.BF
+			cfg.BatchSize = s.BatchSize
+			if pspec.Batch > 0 {
+				cfg.BatchSize = pspec.Batch
+			}
+		}
 	}
-	switch strings.ToLower(s.Forwarding) {
-	case "direct", "":
-		cfg.Forwarding = forward.Direct
-	case "tree":
-		cfg.Forwarding = forward.Tree
-	default:
-		return cfg, fmt.Errorf("scenario: unknown forwarding %q", s.Forwarding)
+	if s.Forwarding != "" {
+		fwd, err := forward.ParseConfig(s.Forwarding)
+		if err != nil {
+			return cfg, fmt.Errorf("scenario: %w", err)
+		}
+		cfg.Forwarding = fwd
 	}
 	if s.PipeCapacity > 0 {
 		cfg.PipeCapacity = s.PipeCapacity
@@ -207,16 +215,26 @@ func applyWorkload(w *core.Workload, s WorkloadSpec) error {
 	return nil
 }
 
-// FromConfig converts a core.Config into its JSON form.
+// FromConfig converts a core.Config into its JSON form. A strategy whose
+// String is a -policy spec (all built-ins) serializes as that spec, so
+// distributed workers reconstruct it exactly; legacy Policy/BatchSize
+// configs keep their pre-strategy serialization byte for byte. A custom
+// strategy with an unparseable String degrades to the legacy fields.
 func FromConfig(cfg core.Config) Spec {
 	bg := cfg.Background
+	policy := strings.ToLower(cfg.Policy.String())
+	if cfg.Strategy != nil {
+		if spec, err := forward.ParseStrategySpec(cfg.Strategy.String()); err == nil && spec.Adaptive {
+			policy = spec.String()
+		}
+	}
 	s := Spec{
 		Arch:           strings.ToLower(cfg.Arch.String()),
 		Nodes:          cfg.Nodes,
 		AppProcs:       cfg.AppProcs,
 		Pds:            cfg.Pds,
 		SamplingPeriod: cfg.SamplingPeriod,
-		Policy:         strings.ToLower(cfg.Policy.String()),
+		Policy:         policy,
 		BatchSize:      cfg.BatchSize,
 		Forwarding:     cfg.Forwarding.String(),
 		PipeCapacity:   cfg.PipeCapacity,

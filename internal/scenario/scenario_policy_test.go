@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/forward"
+)
+
+func minimalSpec(policy string, batch int) Spec {
+	return Spec{
+		Arch: "now", Nodes: 2, AppProcs: 1,
+		SamplingPeriod: 8000, Duration: 1e6,
+		Policy: policy, BatchSize: batch,
+	}
+}
+
+// Policy specs survive the Spec -> Config -> Spec round trip: adaptive
+// specs rebuild the same controller (distributed workers must reconstruct
+// the strategy exactly), fixed specs keep the legacy fields engaged.
+func TestSpecPolicyRoundTrip(t *testing.T) {
+	cases := []struct {
+		policy     string
+		batch      int
+		wantPolicy string
+	}{
+		{"cf", 0, "cf"},
+		{"bf", 7, "bf"},
+		{"bf:9", 4, "bf"},
+		{"abf", 0, "abf"},
+		{"abf:2", 0, "abf:2"},
+	}
+	for _, c := range cases {
+		cfg, err := minimalSpec(c.policy, c.batch).Config()
+		if err != nil {
+			t.Errorf("policy %q: %v", c.policy, err)
+			continue
+		}
+		back := FromConfig(cfg)
+		if back.Policy != c.wantPolicy {
+			t.Errorf("policy %q round-tripped to %q, want %q", c.policy, back.Policy, c.wantPolicy)
+		}
+	}
+}
+
+// An adaptive spec materializes the controller strategy; its String is
+// the spec, so a re-parse reconstructs it bit for bit.
+func TestSpecAdaptiveBuildsStrategy(t *testing.T) {
+	cfg, err := minimalSpec("abf:1.5", 0).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Strategy == nil {
+		t.Fatal("abf spec did not install a Strategy")
+	}
+	if got := cfg.Strategy.String(); got != "abf:1.5" {
+		t.Fatalf("strategy renders %q, want abf:1.5", got)
+	}
+	if cfg.Policy != forward.BF {
+		t.Fatalf("Validate synced Policy to %v, want BF", cfg.Policy)
+	}
+}
+
+// An explicit bf:<n> batch overrides the legacy BatchSize field; a bare
+// bf keeps it.
+func TestSpecBatchOverride(t *testing.T) {
+	cfg, err := minimalSpec("bf:9", 4).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != forward.BF || cfg.BatchSize != 9 {
+		t.Fatalf("bf:9 over BatchSize 4 gave %v/%d, want BF/9", cfg.Policy, cfg.BatchSize)
+	}
+	if cfg.Strategy != nil {
+		t.Fatal("fixed bf spec must keep the legacy path (nil Strategy)")
+	}
+	cfg, err = minimalSpec("bf", 7).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BatchSize != 7 {
+		t.Fatalf("bare bf overrode BatchSize to %d, want 7", cfg.BatchSize)
+	}
+}
+
+// A malformed policy spec is rejected with the parser's message.
+func TestSpecRejectsMalformedPolicy(t *testing.T) {
+	_, err := minimalSpec("bf:0", 0).Config()
+	if err == nil || !strings.Contains(err.Error(), "batch size must be an integer >= 1") {
+		t.Fatalf("bf:0 error = %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"rocc/internal/core"
+	"rocc/internal/forward"
 	"rocc/internal/par"
 	"rocc/internal/scenario"
 )
@@ -250,12 +251,21 @@ func Run(g scenario.Grid, evals []Evaluator, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// policyLabel renders a spec's policy axis ("CF", "BF(32)").
+// policyLabel renders a spec's policy axis ("CF", "BF(32)", "ABF"). The
+// policy field is a -policy spec, so bf:32 and abf:5 label correctly; an
+// unparseable label degrades to CF, matching the pre-spec behavior.
 func policyLabel(s scenario.Spec) string {
-	if strings.EqualFold(s.Policy, "bf") {
-		return fmt.Sprintf("BF(%d)", s.BatchSize)
+	spec, err := forward.ParseStrategySpec(s.Policy)
+	if err != nil || spec.Policy == forward.CF {
+		return "CF"
 	}
-	return "CF"
+	if spec.Adaptive {
+		return strings.ToUpper(spec.String())
+	}
+	if spec.Batch > 0 {
+		return fmt.Sprintf("BF(%d)", spec.Batch)
+	}
+	return fmt.Sprintf("BF(%d)", s.BatchSize)
 }
 
 // compareOne computes one backend-vs-reference comparison.

@@ -92,6 +92,47 @@ const (
 	Tree   = forward.Tree
 )
 
+// Pluggable forwarding strategies: the open surface behind Config.Strategy.
+// A Strategy decides, at every daemon decision point, whether to forward a
+// batch, keep accumulating, or flush, and receives completion feedback per
+// forwarded batch (see internal/forward for the contract).
+type (
+	// ForwardStrategy schedules a daemon's forwarding decisions.
+	ForwardStrategy = forward.Strategy
+	// ForwardStrategySpec is the parsed form of a -policy spec
+	// ("cf", "bf:32", "abf", "abf:1.5").
+	ForwardStrategySpec = forward.StrategySpec
+	// ForwardFeedback is the completion report fed back per batch.
+	ForwardFeedback = forward.Feedback
+	// AdaptiveBFConfig parameterizes the adaptive batch-size controller.
+	AdaptiveBFConfig = forward.ControllerConfig
+	// AdaptiveBF is the feedback-controlled batch-and-forward strategy.
+	AdaptiveBF = forward.AdaptiveBFStrategy
+)
+
+// NewCFStrategy returns the collect-and-forward strategy (one message per
+// sample).
+func NewCFStrategy() ForwardStrategy { return forward.NewCF() }
+
+// NewFixedBFStrategy returns batch-and-forward at a fixed batch size.
+func NewFixedBFStrategy(batch int) ForwardStrategy { return forward.NewFixedBF(batch) }
+
+// NewAdaptiveBFStrategy returns the adaptive batch-size controller; the
+// zero AdaptiveBFConfig selects the scenario-free defaults.
+func NewAdaptiveBFStrategy(cfg AdaptiveBFConfig) *AdaptiveBF { return forward.NewAdaptiveBF(cfg) }
+
+// ParsePolicy parses a bare policy name ("cf", "bf").
+func ParsePolicy(s string) (Policy, error) { return forward.ParsePolicy(s) }
+
+// ParseForwarding parses a forwarding configuration ("direct", "tree").
+func ParseForwarding(s string) (Forwarding, error) { return forward.ParseConfig(s) }
+
+// ParseStrategySpec parses a -policy spec ("cf", "bf", "bf:<n>", "abf",
+// "abf:<ms>") with descriptive errors; Spec.NewStrategy materializes it.
+func ParseStrategySpec(s string) (ForwardStrategySpec, error) {
+	return forward.ParseStrategySpec(s)
+}
+
 // DefaultConfig returns the paper's "typical" configuration: NOW, 8 nodes,
 // one application process and daemon per node, 40 ms sampling, CF policy,
 // 100 simulated seconds.

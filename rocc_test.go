@@ -166,6 +166,38 @@ func TestModelInspection(t *testing.T) {
 	}
 }
 
+func TestPublicAPIForwardStrategy(t *testing.T) {
+	// A custom strategy spec drives a simulation through Config.Strategy.
+	spec, err := ParseStrategySpec("abf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Duration = 1e6
+	cfg.Nodes = 2
+	cfg.Strategy = spec.NewStrategy(0)
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesReceived == 0 {
+		t.Fatal("adaptive run delivered no samples")
+	}
+	if res.AdaptiveFinalBatchMean <= 0 {
+		t.Fatalf("adaptive telemetry missing: %+v", res)
+	}
+	// The fixed-batch strategy is the deprecation shim's explicit form.
+	if got := NewFixedBFStrategy(16).String(); got != "bf:16" {
+		t.Fatalf("fixed strategy renders %q", got)
+	}
+	if got := NewCFStrategy().String(); got != "cf" {
+		t.Fatalf("cf strategy renders %q", got)
+	}
+	if _, err := ParseStrategySpec("bf:0"); err == nil {
+		t.Fatal("bf:0 must be rejected")
+	}
+}
+
 func TestPublicAPISweepDistributed(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Duration = 0.5e6
