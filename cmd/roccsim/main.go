@@ -10,6 +10,7 @@
 //	roccsim -nodes 8 -trace run.json            # Chrome/Perfetto trace
 //	roccsim -nodes 8 -trace run.txt             # AIX-like text trace
 //	roccsim -nodes 64 -duration 1000 -http :0   # live /metrics + pprof while it runs
+//	roccsim -nodes 8 -policy bf -batch 64 -stages  # per-stage latency waterfall
 //	roccsim -cpuprofile cpu.pprof -log - -loglevel debug
 package main
 
@@ -30,6 +31,7 @@ import (
 	"rocc/internal/forward"
 	"rocc/internal/obs"
 	"rocc/internal/obs/live"
+	"rocc/internal/obs/prov"
 	"rocc/internal/report"
 	"rocc/internal/scenario"
 	"rocc/internal/trace"
@@ -58,6 +60,7 @@ func main() {
 		outPath  = cli.Out(flag.CommandLine)
 		warmup   = flag.Float64("warmup", 0, "warmup seconds discarded before measurement")
 		traceOut = flag.String("trace", "", "export the run's trace (.json = Chrome/Perfetto, else AIX-like text)")
+		stages   = flag.Bool("stages", false, "decompose sample latency per stage (waterfall; LatencyStages in -json)")
 		httpAddr = cli.HTTP(flag.CommandLine)
 		cfgIn    = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
 		cfgOut   = flag.String("save-config", "", "write the scenario as JSON and exit")
@@ -136,15 +139,15 @@ func main() {
 
 	var res core.Result
 	var rep core.Replicated
-	if *traceOut != "" || *httpAddr != "" {
-		// Tracing and live monitoring require direct model access; single
-		// run with the full observability layer (all CPUs + sample
-		// lifecycle + metrics).
+	if *traceOut != "" || *httpAddr != "" || *stages {
+		// Tracing, live monitoring, and stage decomposition require direct
+		// model access; single run with the full observability layer (all
+		// CPUs + sample lifecycle + metrics).
 		m, err := core.New(cfg)
 		if err != nil {
 			fatal("%v", err)
 		}
-		c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
+		c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true, Provenance: *stages})
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -153,6 +156,12 @@ func main() {
 			// race-safe by construction, so scraping mid-run is sound.
 			srv := live.NewServer(nil)
 			srv.Exporter().SetRun(c.Metrics)
+			if eng := m.Provenance(); eng != nil {
+				for st := prov.Stage(0); st < prov.NumStages; st++ {
+					srv.Exporter().AddHistogram(eng.Histogram(st),
+						"per-sample dwell in stage "+st.String())
+				}
+			}
 			addr, err := srv.Start(*httpAddr)
 			if err != nil {
 				fatal("%v", err)
@@ -376,7 +385,27 @@ func printResult(w io.Writer, cfg core.Config, rep core.Replicated, reps int) er
 	if res.BarrierReleases > 0 {
 		t.AddRow("barrier releases", fmt.Sprint(res.BarrierReleases))
 	}
-	return t.Render(w)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(res.LatencyStages) > 0 {
+		wf := report.Waterfall{Title: "latency decomposition (per-stage dwell)"}
+		for _, s := range res.LatencyStages {
+			wf.Rows = append(wf.Rows, report.StageRow{
+				Stage:    s.Stage,
+				MeanUS:   s.MeanSec * 1e6,
+				P50US:    s.P50Sec * 1e6,
+				P95US:    s.P95Sec * 1e6,
+				P99US:    s.P99Sec * 1e6,
+				SharePct: s.SharePct,
+			})
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		return wf.Render(w)
+	}
+	return nil
 }
 
 // runFromFile loads a JSON scenario, runs it, and prints the metrics.

@@ -11,6 +11,7 @@
 //	roccviz -nodes 4 -export run.json      # Chrome trace for Perfetto
 //	roccviz -check run.json                # validate an exported trace
 //	roccviz -check sweep-timeline.json     # roccsweep -trace output validates too
+//	roccviz -lat run.json                  # latency waterfall from an exported trace
 //	roccviz -nodes 8 -http :0              # live /metrics + pprof during the run
 package main
 
@@ -24,6 +25,7 @@ import (
 	"rocc/internal/core"
 	"rocc/internal/obs"
 	"rocc/internal/obs/live"
+	"rocc/internal/obs/prov"
 	"rocc/internal/report"
 	"rocc/internal/trace"
 )
@@ -42,9 +44,17 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit figures as CSV")
 		export  = flag.String("export", "", "write the run's Chrome trace JSON to this file")
 		check   = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+		lat     = flag.String("lat", "", "reconstruct the latency-decomposition waterfall from a Chrome trace JSON file and exit")
 		http    = cli.HTTP(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if *lat != "" {
+		if err := runLat(*lat); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	if *check != "" {
 		f, err := os.Open(*check)
@@ -81,13 +91,19 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true})
+	c, err := m.EnableObservability(core.ObsOptions{Trace: true, Metrics: true, Provenance: true})
 	if err != nil {
 		fatal("%v", err)
 	}
 	if *http != "" {
 		srv := live.NewServer(nil)
 		srv.Exporter().SetRun(c.Metrics)
+		if eng := m.Provenance(); eng != nil {
+			for st := prov.Stage(0); st < prov.NumStages; st++ {
+				srv.Exporter().AddHistogram(eng.Histogram(st),
+					"per-sample dwell in stage "+st.String())
+			}
+		}
 		addr, err := srv.Start(*http)
 		if err != nil {
 			fatal("%v", err)
@@ -135,6 +151,23 @@ func main() {
 	qt.AddRow("max", report.F(res.MonitoringLatencyMaxSec))
 	if err := qt.Render(os.Stdout); err != nil {
 		fatal("%v", err)
+	}
+
+	if len(res.LatencyStages) > 0 {
+		wf := report.Waterfall{Title: "latency decomposition (per-stage dwell)"}
+		for _, s := range res.LatencyStages {
+			wf.Rows = append(wf.Rows, report.StageRow{
+				Stage:    s.Stage,
+				MeanUS:   s.MeanSec * 1e6,
+				P50US:    s.P50Sec * 1e6,
+				P95US:    s.P95Sec * 1e6,
+				P99US:    s.P99Sec * 1e6,
+				SharePct: s.SharePct,
+			})
+		}
+		if err := wf.Render(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	if err := renderTimeline(c, *windows, *csv); err != nil {

@@ -94,6 +94,27 @@ type Config struct {
 	// Window is the number of consecutive exceedances needed to confirm a
 	// hypothesis (default 3).
 	Window int
+	// StageRefine refines confirmed CommBound and SyncBound findings to
+	// the dominant latency-decomposition stage (fed via SetStageShares):
+	// the why-axis answer gets a "which part of the collection path"
+	// qualifier. No effect until shares arrive.
+	StageRefine bool
+}
+
+// stageCandidates maps a hypothesis type to the latency stages that can
+// explain it: a communication bottleneck lives in daemon forwarding,
+// network transit, or relay merging; a synchronization bottleneck lives
+// in pipe blocking or batch residency. Order breaks share ties, so
+// refinement stays deterministic.
+func stageCandidates(w Why) []string {
+	switch w {
+	case CommBound:
+		return []string{"daemon-service", "network-transit", "merge"}
+	case SyncBound:
+		return []string{"pipe-wait", "batch-residency"}
+	default:
+		return nil
+	}
 }
 
 func (c Config) threshold(w Why) float64 {
@@ -117,6 +138,13 @@ type Finding struct {
 	MeanValue float64
 	// ConfirmedAt is the ingest interval index at which it confirmed.
 	ConfirmedAt int
+	// Stage names the dominant latency-decomposition stage at
+	// confirmation time (Config.StageRefine with SetStageShares data);
+	// empty when refinement is off, shares are absent, or the hypothesis
+	// type has no stage candidates (CPUBound).
+	Stage string
+	// StageSharePct is that stage's share of total sample latency.
+	StageSharePct float64
 }
 
 // Phase is one maximal run of intervals during which a confirmed
@@ -144,6 +172,9 @@ type Consultant struct {
 	active   []*testState
 	findings []Finding
 	interval int
+	// shares is the latest per-stage latency share (percent), keyed by
+	// stage name, from SetStageShares.
+	shares map[string]float64
 }
 
 // New creates a consultant with the three root hypotheses active.
@@ -207,11 +238,13 @@ func (c *Consultant) Ingest(obs []Observation) {
 				st.confirmed = true
 				st.inPhase = true
 				st.phaseStart = c.interval - c.cfg.Window + 1
-				c.findings = append(c.findings, Finding{
+				f := Finding{
 					Hypothesis:  st.hyp,
 					MeanValue:   st.windowSum / float64(st.consec),
 					ConfirmedAt: c.interval,
-				})
+				}
+				f.Stage, f.StageSharePct = c.dominantStage(st.hyp.Why)
+				c.findings = append(c.findings, f)
 				// Where-axis refinement: a confirmed global hypothesis
 				// spawns per-node tests.
 				if st.hyp.Node == WholeProgram && !st.refined && c.cfg.Nodes > 1 {
@@ -230,6 +263,39 @@ func (c *Consultant) Ingest(obs []Observation) {
 	}
 	c.active = append(c.active, refinements...)
 	c.interval++
+}
+
+// SetStageShares feeds the latest per-stage latency decomposition
+// (stage name → percent of total sample latency, e.g. from
+// prov.Engine.Stages). Findings confirmed after this call carry the
+// dominant candidate stage for their hypothesis type when
+// Config.StageRefine is set. Call before Ingest each interval to keep
+// refinement current.
+func (c *Consultant) SetStageShares(shares map[string]float64) {
+	if c.shares == nil {
+		c.shares = make(map[string]float64, len(shares))
+	}
+	for k := range c.shares {
+		delete(c.shares, k)
+	}
+	for k, v := range shares {
+		c.shares[k] = v
+	}
+}
+
+// dominantStage picks the candidate stage with the largest share for a
+// hypothesis type; ties keep the earlier candidate.
+func (c *Consultant) dominantStage(w Why) (string, float64) {
+	if !c.cfg.StageRefine || len(c.shares) == 0 {
+		return "", 0
+	}
+	best, bestShare := "", 0.0
+	for _, s := range stageCandidates(w) {
+		if v, ok := c.shares[s]; ok && (best == "" || v > bestShare) {
+			best, bestShare = s, v
+		}
+	}
+	return best, bestShare
 }
 
 // Phases returns the when-axis phases of a confirmed hypothesis: the

@@ -173,6 +173,49 @@ func TestWhenAxisPhases(t *testing.T) {
 	}
 }
 
+func TestStageRefinement(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Window: 2, StageRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comm-heavy and sync-heavy at once; shares point at network transit
+	// and batch residency as the dominant candidates.
+	c.SetStageShares(map[string]float64{
+		"pipe-wait": 10, "batch-residency": 35, "daemon-service": 5,
+		"network-transit": 40, "merge": 10, "main-receipt": 0,
+	})
+	for i := 0; i < 2; i++ {
+		c.Ingest(obsAllNodes(1, 0.95, 0.9, 0.6))
+	}
+	byWhy := map[Why]Finding{}
+	for _, f := range c.Findings() {
+		byWhy[f.Hypothesis.Why] = f
+	}
+	if f := byWhy[CommBound]; f.Stage != "network-transit" || f.StageSharePct != 40 {
+		t.Fatalf("CommBound refined to %q (%v%%), want network-transit 40%%", f.Stage, f.StageSharePct)
+	}
+	if f := byWhy[SyncBound]; f.Stage != "batch-residency" || f.StageSharePct != 35 {
+		t.Fatalf("SyncBound refined to %q (%v%%), want batch-residency 35%%", f.Stage, f.StageSharePct)
+	}
+	// CPUBound has no stage candidates.
+	if f := byWhy[CPUBound]; f.Stage != "" {
+		t.Fatalf("CPUBound got stage %q, want none", f.Stage)
+	}
+}
+
+func TestStageRefinementOffByDefault(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetStageShares(map[string]float64{"network-transit": 90})
+	c.Ingest(obsAllNodes(1, 0.1, 0.9, 0.1))
+	fs := c.Findings()
+	if len(fs) != 1 || fs[0].Stage != "" {
+		t.Fatalf("refinement ran without StageRefine: %v", fs)
+	}
+}
+
 func TestConfigErrors(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("zero nodes should fail")

@@ -37,6 +37,14 @@ func Search(simCfg core.Config, cCfg Config, intervalUS float64, intervals int) 
 	if err != nil {
 		return SearchResult{}, err
 	}
+	if cCfg.StageRefine {
+		// Stage refinement needs the per-sample latency decomposition;
+		// the provenance engine only reads lifecycle hooks, so the
+		// search's observations (and the run itself) are unchanged.
+		if _, err := m.EnableObservability(core.ObsOptions{Provenance: true}); err != nil {
+			return SearchResult{}, err
+		}
+	}
 	m.Start()
 
 	nodes := len(m.NodeCPUs)
@@ -80,6 +88,13 @@ func Search(simCfg core.Config, cCfg Config, intervalUS float64, intervals int) 
 			if appsPerNode[n] > 0 {
 				obs[n].BlockedFrac = float64(blockedPerNode[n]) / float64(appsPerNode[n])
 			}
+		}
+		if eng := m.Provenance(); eng != nil {
+			shares := make(map[string]float64)
+			for _, st := range eng.Stages() {
+				shares[st.Stage] = st.SharePct
+			}
+			cons.SetStageShares(shares)
 		}
 		cons.Ingest(obs)
 		if at := cons.ActiveTests(); at > res.PeakActiveTests {

@@ -57,6 +57,42 @@ func TestSearchFindsCommBoundSMP(t *testing.T) {
 	}
 }
 
+func TestSearchStageRefinement(t *testing.T) {
+	// Same saturated-bus workload with StageRefine: the confirmed
+	// CommBound finding must name a communication-path stage, drawn from
+	// the live provenance decomposition.
+	cfg := core.DefaultConfig()
+	cfg.Arch = core.SMP
+	cfg.Nodes = 32
+	cfg.AppProcs = 32
+	cfg.Workload = core.CommIntensive.Apply(core.DefaultWorkload())
+	res, err := Search(cfg, Config{Nodes: 1, Window: 3, StageRefine: true}, 1e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := []string{"daemon-service", "network-transit", "merge"}
+	found := false
+	for _, f := range res.Findings {
+		if f.Hypothesis.Why != CommBound {
+			continue
+		}
+		found = true
+		ok := false
+		for _, s := range comm {
+			if f.Stage == s {
+				ok = true
+			}
+		}
+		if !ok || f.StageSharePct <= 0 {
+			t.Fatalf("CommBound stage = %q (%v%%), want one of %v with positive share",
+				f.Stage, f.StageSharePct, comm)
+		}
+	}
+	if !found {
+		t.Fatalf("comm-bound not confirmed; findings %v", res.Findings)
+	}
+}
+
 func TestWhenAxisOnPhasedSimulation(t *testing.T) {
 	// Workload alternates between compute-heavy and idle-ish
 	// (communication-dominated) every 4 seconds: the confirmed CPU-bound

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"rocc/internal/des"
@@ -78,7 +79,7 @@ func TestCalendarKindsProduceIdenticalResults(t *testing.T) {
 			for _, k := range []des.CalendarKind{des.CalendarAuto, des.CalendarBucket} {
 				c := cfg
 				c.Calendar = k
-				if got := mustRun(t, c); got != want {
+				if got := mustRun(t, c); !reflect.DeepEqual(got, want) {
 					t.Fatalf("calendar %v diverged from heap:\nheap:   %+v\n%v: %+v", k, want, k, got)
 				}
 			}

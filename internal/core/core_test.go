@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"rocc/internal/forward"
@@ -319,13 +320,13 @@ func TestWorkConservationAcrossOwners(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	cfg := shortCfg()
 	a, b := mustRun(t, cfg), mustRun(t, cfg)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed gave different results:\n%+v\n%+v", a, b)
 	}
 	cfg2 := cfg
 	cfg2.Seed = 999
 	c := mustRun(t, cfg2)
-	if a == c {
+	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds gave identical results")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"rocc/internal/faults"
 	"rocc/internal/forward"
 	"rocc/internal/obs"
+	"rocc/internal/obs/prov"
 	"rocc/internal/procs"
 	"rocc/internal/resources"
 	"rocc/internal/rng"
@@ -47,9 +48,11 @@ type Model struct {
 	warmupCarryover int
 
 	// obsC is the attached observability collector (EnableObservability);
-	// obsPipeSeq hands out pipe IDs for its lifecycle events.
+	// obsPipeSeq hands out pipe IDs for its lifecycle events; prov is the
+	// per-sample latency-decomposition engine (ObsOptions.Provenance).
 	obsC       *obs.Collector
 	obsPipeSeq int
+	prov       *prov.Engine
 }
 
 // Substream identifiers for reproducible per-entity random streams.

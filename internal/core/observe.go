@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rocc/internal/obs"
+	"rocc/internal/obs/prov"
 	"rocc/internal/resources"
 )
 
@@ -16,6 +17,10 @@ type ObsOptions struct {
 	// Metrics attaches the counter/histogram registry and the periodic
 	// resource samplers.
 	Metrics bool
+	// Provenance attaches the per-sample latency-decomposition engine
+	// (internal/obs/prov): per-stage dwell histograms surfaced as
+	// Result.LatencyStages and rocc_latency_stage_* metric families.
+	Provenance bool
 	// SampleIntervalUS is the sampler period; 0 defaults to 1% of the
 	// configured duration (100 points per run).
 	SampleIntervalUS float64
@@ -40,10 +45,14 @@ func (m *Model) EnableObservability(o ObsOptions) (*obs.Collector, error) {
 	if m.obsC != nil {
 		return nil, errors.New("core: observability already enabled")
 	}
-	if !o.Trace && !o.Metrics {
-		return nil, errors.New("core: enable at least one of Trace, Metrics")
+	if !o.Trace && !o.Metrics && !o.Provenance {
+		return nil, errors.New("core: enable at least one of Trace, Metrics, Provenance")
 	}
 	c := obs.NewCollector(o.Trace, o.Metrics)
+	if o.Provenance {
+		m.prov = prov.NewEngine()
+		c.Flow = m.prov
+	}
 	m.obsC = c
 
 	if c.Sink != nil {
@@ -109,6 +118,10 @@ func (m *Model) EnableObservability(o ObsOptions) (*obs.Collector, error) {
 // Collector returns the attached collector, nil when observability is
 // not enabled.
 func (m *Model) Collector() *obs.Collector { return m.obsC }
+
+// Provenance returns the attached latency-decomposition engine, nil when
+// ObsOptions.Provenance was not enabled.
+func (m *Model) Provenance() *prov.Engine { return m.prov }
 
 // dedicatedHost reports whether HostCPU is a CPU of its own rather than
 // an alias of NodeCPUs[0] (or the SMP pool).

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"rocc/internal/faults"
@@ -130,7 +131,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 	// exact equality.
 	got.MonitoringLatencyP50Sec = 0
 	got.MonitoringLatencyP99Sec = 0
-	if got != base {
+	if !reflect.DeepEqual(got, base) {
 		t.Errorf("observability changed the Result:\nbase: %+v\ngot:  %+v", base, got)
 	}
 	if c.Metrics.Generated.Value() == 0 || c.Metrics.Delivered.Value() == 0 {

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // The determinism contract of the parallel replication engine: for a
 // fixed base seed, every pool size — serial, wider than the replication
@@ -29,7 +32,7 @@ func TestRunReplicationsParallelEquivalence(t *testing.T) {
 			t.Fatalf("workers=%d: %d results", workers, len(par.Results))
 		}
 		for i := range serial.Results {
-			if par.Results[i] != serial.Results[i] {
+			if !reflect.DeepEqual(par.Results[i], serial.Results[i]) {
 				t.Fatalf("workers=%d: replication %d differs from the serial path", workers, i)
 			}
 		}
@@ -41,7 +44,7 @@ func TestRunReplicationsParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range serial.Results {
-		if def.Results[i] != serial.Results[i] {
+		if !reflect.DeepEqual(def.Results[i], serial.Results[i]) {
 			t.Fatalf("RunReplications diverges from RunReplicationsParallel at replication %d", i)
 		}
 	}

@@ -81,6 +81,12 @@ type Result struct {
 	AdaptiveFinalBatchMax  int     `json:",omitempty"` // largest final target
 	AdaptiveAdjustments    int     `json:",omitempty"` // total control decisions taken
 
+	// LatencyStages is the per-stage decomposition of the monitoring
+	// latency (internal/obs/prov), populated only when EnableObservability
+	// ran with Provenance — omitted from JSON otherwise, keeping plain
+	// runs byte-identical.
+	LatencyStages []StageLatency `json:",omitempty"`
+
 	SamplesGenerated int
 	SamplesReceived  int
 	// WarmupCarryover counts samples generated during the warmup period
@@ -93,6 +99,20 @@ type Result struct {
 	MessagesMerged    int
 	BlockedPuts       int
 	BarrierReleases   int
+}
+
+// StageLatency is one stage of the per-sample latency decomposition:
+// where the generation→delivery delay accrued, aggregated over all
+// delivered samples. Stages appear in path order (pipe-wait,
+// batch-residency, daemon-service, network-transit, merge, main-receipt)
+// and their SharePct values sum to 100 (when anything was delivered).
+type StageLatency struct {
+	Stage    string
+	MeanSec  float64
+	P50Sec   float64
+	P95Sec   float64
+	P99Sec   float64
+	SharePct float64
 }
 
 // collect computes the Result from the model's resource accounting.
@@ -141,6 +161,18 @@ func (m *Model) collect() Result {
 	if m.obsC != nil && m.obsC.Metrics != nil {
 		res.MonitoringLatencyP50Sec = m.obsC.Metrics.Latency.Quantile(0.50) / 1e6
 		res.MonitoringLatencyP99Sec = m.obsC.Metrics.Latency.Quantile(0.99) / 1e6
+	}
+	if m.prov != nil {
+		for _, s := range m.prov.Stages() {
+			res.LatencyStages = append(res.LatencyStages, StageLatency{
+				Stage:    s.Stage,
+				MeanSec:  s.MeanUS / 1e6,
+				P50Sec:   s.P50US / 1e6,
+				P95Sec:   s.P95US / 1e6,
+				P99Sec:   s.P99US / 1e6,
+				SharePct: s.SharePct,
+			})
+		}
 	}
 	res.ForwardLatencySec = m.Main.ForwardLatency.Mean() / 1e6
 	res.ThroughputPerSec = float64(m.Main.SamplesReceived) / durSec

@@ -21,6 +21,11 @@ const (
 	// replays the same replication seeds, so variant comparisons share
 	// their workload randomness and common-mode noise cancels.
 	SeedStreamAdaptive
+	// SeedStreamLatency derives per-cell base seeds of the latency-
+	// decomposition sweep (ext-latency-breakdown); like the adaptive
+	// stream, every policy variant of a cell replays the same
+	// replication seeds.
+	SeedStreamLatency
 )
 
 // mixSeed is the SplitMix64 output finalizer: a bijective avalanche over

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The ISSUE 10 acceptance gate: on dense cells (1 ms sampling, batch 64)
+// the dominant fixed-BF latency stage must be batch residency — samples
+// wait for their batch to fill — not daemon service. This is the
+// decomposition's headline claim: BF's latency price is residency, not
+// processing.
+func TestLatencyBreakdownGateOnDenseCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication sweep")
+	}
+	opt := Options{DurationUS: 10e6, Reps: 2}
+	cells, err := RunLatencyBreakdown(opt, DefaultLatencyBreakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("expected 3 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		var bf LatencyBreakdownPoint
+		for _, p := range c.Points {
+			if strings.HasPrefix(p.Policy, "bf:") {
+				bf = p
+			}
+		}
+		if bf.Policy == "" || len(bf.Stages) == 0 {
+			t.Fatalf("%s: no fixed-BF decomposition in %+v", c.Arch, c.Points)
+		}
+		res, svc := bf.Share("batch-residency"), bf.Share("daemon-service")
+		if res <= svc {
+			t.Errorf("%s %s: batch-residency %.2f%% must dominate daemon-service %.2f%%",
+				c.Arch, bf.Policy, res, svc)
+		}
+		// CF has no batch to wait for: its residency share must be far
+		// below BF's.
+		cf := c.Points[0]
+		if cfRes := cf.Share("batch-residency"); cfRes >= res {
+			t.Errorf("%s: CF residency %.2f%% >= BF residency %.2f%%", c.Arch, cfRes, res)
+		}
+		// Shares are percentages of a complete decomposition.
+		for _, p := range c.Points {
+			total := 0.0
+			for _, s := range p.Stages {
+				total += s.SharePct
+			}
+			if len(p.Stages) > 0 && (total < 99.9 || total > 100.1) {
+				t.Errorf("%s %s: shares sum to %.3f%%", c.Arch, p.Policy, total)
+			}
+		}
+	}
+}
+
+// Byte-determinism at any worker count: serial and parallel sweeps agree
+// exactly.
+func TestLatencyBreakdownDeterministicAcrossWorkers(t *testing.T) {
+	opt := Options{DurationUS: 2e6, Reps: 2, Parallel: 1}
+	lb := LatencyBreakdownOptions{Archs: []string{"now", "mpp"}, Batch: 16}
+	serial, err := RunLatencyBreakdown(opt, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 4
+	par4, err := RunLatencyBreakdown(opt, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par4) {
+		t.Fatalf("sweep differs across worker counts:\n%+v\n%+v", serial, par4)
+	}
+}
+
+func TestLatencyBreakdownRejectsUnknownArch(t *testing.T) {
+	_, err := RunLatencyBreakdown(Options{DurationUS: 1e5},
+		LatencyBreakdownOptions{Archs: []string{"vax"}})
+	if err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}

@@ -122,6 +122,11 @@ func (l *Link) attempt(id uint64, msg *forward.Message, attempt int) {
 		l.LossInjected++
 		if l.pending == nil {
 			l.SamplesLost += len(msg.Samples) // unprotected: gone for good
+			if l.obs != nil {
+				for _, s := range msg.Samples {
+					l.obs.SampleLost(l.node, l.sim.Now(), s, procs.LossLink)
+				}
+			}
 		}
 	} else {
 		delay := des.Time(0)
@@ -161,7 +166,17 @@ func (l *Link) arrive(id uint64, msg *forward.Message) {
 		return
 	}
 	if !l.dst(msg) {
-		return // receiver down: no ack, the timer covers the outage
+		// Receiver down: with retransmission the timer covers the outage;
+		// unprotected, the message is gone for good. The existing
+		// SamplesLost counter deliberately stays untouched on the
+		// unprotected path (it predates this hook), but provenance needs
+		// the closure.
+		if l.pending == nil && l.obs != nil {
+			for _, s := range msg.Samples {
+				l.obs.SampleLost(l.node, l.sim.Now(), s, procs.LossCrash)
+			}
+		}
+		return
 	}
 	if l.delivered != nil {
 		l.delivered[id] = true
@@ -210,6 +225,11 @@ func (l *Link) timeout(id uint64) {
 		delete(l.pending, id)
 		l.GiveUps++
 		l.SamplesLost += len(p.msg.Samples)
+		if l.obs != nil {
+			for _, s := range p.msg.Samples {
+				l.obs.SampleLost(l.node, l.sim.Now(), s, procs.LossGiveUp)
+			}
+		}
 		return
 	}
 	p.attempts++

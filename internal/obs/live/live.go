@@ -51,6 +51,14 @@ type Exporter struct {
 	run    *obs.Metrics
 	sweep  *obs.SweepMetrics
 	gauges []gaugeSource
+	hists  []histSource
+}
+
+// histSource is one registered standalone histogram (e.g. the provenance
+// engine's per-stage dwell histograms).
+type histSource struct {
+	h    *obs.Histogram
+	help string
 }
 
 // NewExporter returns an empty exporter; attach sources with SetRun,
@@ -88,6 +96,21 @@ func (e *Exporter) AddGauge(name, help string, read func() float64) {
 	e.gauges = append(e.gauges, gaugeSource{name: name, help: help, read: read})
 }
 
+// AddHistogram registers a standalone histogram family (named by the
+// histogram itself, rocc_ prefix added). Scrapes snapshot it under its
+// lock, so a mutating run never races a scrape. Registering the same
+// histogram name twice keeps the first registration.
+func (e *Exporter) AddHistogram(h *obs.Histogram, help string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.hists {
+		if s.h.Name == h.Name {
+			return
+		}
+	}
+	e.hists = append(e.hists, histSource{h: h, help: help})
+}
+
 // family is one metric family ready to render: a TYPE line and its
 // sample lines.
 type family struct {
@@ -105,6 +128,7 @@ func (e *Exporter) WriteOpenMetrics(w io.Writer) error {
 	e.mu.Lock()
 	run, sweep := e.run, e.sweep
 	gauges := append([]gaugeSource(nil), e.gauges...)
+	hists := append([]histSource(nil), e.hists...)
 	e.mu.Unlock()
 
 	var fams []family
@@ -113,11 +137,14 @@ func (e *Exporter) WriteOpenMetrics(w io.Writer) error {
 			fams = append(fams, counterFamily(MetricPrefix+sanitizeName(c.Name),
 				"simulation pipeline counter "+c.Name, c.Value()))
 		}
-		fams = append(fams, histogramFamily(run.Latency))
+		fams = append(fams, histogramFamily(run.Latency, "sample delivery latency distribution"))
 		for _, s := range run.Series() {
 			s := s
 			fams = append(fams, seriesFamily(s))
 		}
+	}
+	for _, hs := range hists {
+		fams = append(fams, histogramFamily(hs.h, hs.help))
 	}
 	if sweep != nil {
 		for _, c := range sweep.Counters() {
@@ -176,7 +203,7 @@ func counterFamily(name, help string, v uint64) family {
 
 // histogramFamily renders a histogram snapshot with cumulative buckets,
 // the mandatory +Inf bucket, and _sum/_count samples.
-func histogramFamily(h *obs.Histogram) family {
+func histogramFamily(h *obs.Histogram, help string) family {
 	snap := h.Snapshot()
 	name := MetricPrefix + sanitizeName(snap.Name)
 	samples := make([]string, 0, len(snap.Counts)+2)
@@ -192,7 +219,7 @@ func histogramFamily(h *obs.Histogram) family {
 	samples = append(samples,
 		fmt.Sprintf("%s_count %d", name, snap.Total),
 		fmt.Sprintf("%s_sum %s", name, formatFloat(snap.Sum)))
-	return family{name: name, typ: "histogram", help: "sample delivery latency distribution", samples: samples}
+	return family{name: name, typ: "histogram", help: help, samples: samples}
 }
 
 // seriesFamily renders a sampler series' most recent sample as a gauge,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rocc/internal/obs"
+	"rocc/internal/obs/prov"
 )
 
 // The sweep-counter exposition is pinned byte for byte: every counter
@@ -112,6 +113,42 @@ func TestRunExpositionParses(t *testing.T) {
 	}
 	if !strings.HasSuffix(text, "# EOF\n") {
 		t.Error("exposition must end with # EOF")
+	}
+}
+
+// Registered standalone histograms (the provenance engine's per-stage
+// families) export alongside the run registry, parse cleanly, and
+// duplicate registrations keep the first.
+func TestExpositionStageHistograms(t *testing.T) {
+	eng := prov.NewEngine()
+	e := NewExporter()
+	e.SetRun(obs.NewMetrics())
+	for st := prov.Stage(0); st < prov.NumStages; st++ {
+		e.AddHistogram(eng.Histogram(st), "per-sample dwell in stage "+st.String())
+	}
+	// Second registration of the same family name is a no-op.
+	e.AddHistogram(eng.Histogram(prov.StagePipeWait), "duplicate")
+
+	var b strings.Builder
+	if err := e.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	_, families, err := ParseExpositionFamilies(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("stage exposition does not parse: %v\n%s", err, text)
+	}
+	stage := 0
+	for _, f := range families {
+		if strings.HasPrefix(f, "rocc_latency_stage_") {
+			stage++
+		}
+	}
+	if stage != int(prov.NumStages) {
+		t.Fatalf("%d rocc_latency_stage_ families, want %d:\n%v", stage, prov.NumStages, families)
+	}
+	if got := strings.Count(text, "# TYPE rocc_latency_stage_pipe_wait_us "); got != 1 {
+		t.Fatalf("pipe-wait family declared %d times, want 1", got)
 	}
 }
 

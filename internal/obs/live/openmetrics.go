@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -58,16 +59,38 @@ func formatFloat(v float64) string {
 // It is the referee for the exposition golden tests and the CI telemetry
 // smoke step (tools/checkexpo).
 func ParseExposition(r io.Reader) (samples int, err error) {
+	samples, _, err = parseExposition(r)
+	return samples, err
+}
+
+// ParseExpositionFamilies validates like ParseExposition and additionally
+// returns the declared family names in sorted order, so callers (e.g.
+// tools/checkexpo -require) can assert that specific families made it
+// into a scrape.
+func ParseExpositionFamilies(r io.Reader) (samples int, families []string, err error) {
+	samples, types, err := parseExposition(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	families = make([]string, 0, len(types))
+	for name := range types {
+		families = append(families, name)
+	}
+	sort.Strings(families)
+	return samples, families, nil
+}
+
+func parseExposition(r io.Reader) (samples int, types map[string]string, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	types := map[string]string{}
+	types = map[string]string{}
 	sawEOF := false
 	line := 0
 	for sc.Scan() {
 		line++
 		text := sc.Text()
 		if sawEOF {
-			return 0, fmt.Errorf("line %d: content after # EOF", line)
+			return 0, nil, fmt.Errorf("line %d: content after # EOF", line)
 		}
 		if text == "" {
 			continue
@@ -80,20 +103,20 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 			}
 			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP" || fields[1] == "UNIT") {
 				if len(fields) < 3 {
-					return 0, fmt.Errorf("line %d: malformed %s comment: %q", line, fields[1], text)
+					return 0, nil, fmt.Errorf("line %d: malformed %s comment: %q", line, fields[1], text)
 				}
 				if fields[1] == "TYPE" {
 					name := fields[2]
 					if len(fields) < 4 {
-						return 0, fmt.Errorf("line %d: TYPE %s missing a type", line, name)
+						return 0, nil, fmt.Errorf("line %d: TYPE %s missing a type", line, name)
 					}
 					switch fields[3] {
 					case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset", "gaugehistogram":
 					default:
-						return 0, fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
+						return 0, nil, fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
 					}
 					if _, dup := types[name]; dup {
-						return 0, fmt.Errorf("line %d: family %s declared twice", line, name)
+						return 0, nil, fmt.Errorf("line %d: family %s declared twice", line, name)
 					}
 					types[name] = fields[3]
 				}
@@ -103,20 +126,20 @@ func ParseExposition(r io.Reader) (samples int, err error) {
 		}
 		name, err := parseSampleLine(text)
 		if err != nil {
-			return 0, fmt.Errorf("line %d: %v", line, err)
+			return 0, nil, fmt.Errorf("line %d: %v", line, err)
 		}
 		if familyOf(name, types) == "" {
-			return 0, fmt.Errorf("line %d: sample %s has no # TYPE declaration", line, name)
+			return 0, nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", line, name)
 		}
 		samples++
 	}
 	if err := sc.Err(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if !sawEOF {
-		return 0, fmt.Errorf("missing terminating # EOF line")
+		return 0, nil, fmt.Errorf("missing terminating # EOF line")
 	}
-	return samples, nil
+	return samples, types, nil
 }
 
 // parseSampleLine checks one sample line and returns its metric name.

@@ -267,6 +267,11 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.max
 }
 
+// Reset zeroes the histogram in place (identity-preserving, so live
+// exporters holding a reference keep reading the same histogram across a
+// warmup reset).
+func (h *Histogram) Reset() { h.reset() }
+
 // reset zeroes the histogram in place, discarding staged observations too
 // (they were recorded before the reset point).
 func (h *Histogram) reset() {
@@ -334,6 +339,7 @@ type Metrics struct {
 	Forwards      Counter // messages put on the network by daemons
 	Retransmits   Counter // resilient-uplink retries
 	Crashes       Counter // daemon crashes
+	Lost          Counter // samples lost for good (thinning, crashes, links)
 
 	// Latency is the end-to-end sample delivery delay in microseconds
 	// (generation at the application to receipt at the main process) —
@@ -358,6 +364,7 @@ func NewMetrics() *Metrics {
 		"forwards":     &m.Forwards,
 		"retransmits":  &m.Retransmits,
 		"crashes":      &m.Crashes,
+		"lost":         &m.Lost,
 	} {
 		c.Name = name
 	}
@@ -369,6 +376,7 @@ func (m *Metrics) Counters() []*Counter {
 	return []*Counter{
 		&m.Events, &m.Generated, &m.Delivered, &m.DeliveredMsgs, &m.Dropped,
 		&m.BlockedPuts, &m.Batches, &m.Forwards, &m.Retransmits, &m.Crashes,
+		&m.Lost,
 	}
 }
 

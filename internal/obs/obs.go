@@ -32,18 +32,53 @@
 // obs dependency.
 package obs
 
-import "rocc/internal/resources"
+import (
+	"rocc/internal/procs"
+	"rocc/internal/resources"
+)
+
+// FlowObserver consumes the per-sample lifecycle fan-out the provenance
+// engine (internal/obs/prov) needs to fold each sample's path into
+// per-stage dwell times. It is a subset-with-batches view of the
+// procs.Observer and resources.PipeObserver hooks: batch slices are
+// caller-owned and must not be retained.
+type FlowObserver interface {
+	// SampleGenerated: the sample exists; blocked reports a full-pipe stall.
+	SampleGenerated(t float64, s resources.Sample, blocked bool)
+	// PipePut: the sample was accepted into its pipe (admit time for
+	// blocked writers).
+	PipePut(t float64, s resources.Sample)
+	// PipeGet: a daemon drained the sample from its pipe.
+	PipeGet(t float64, s resources.Sample)
+	// PipeDropped: the sample was discarded at a full pipe.
+	PipeDropped(t float64, s resources.Sample)
+	// BatchForwarded: a daemon handed a message carrying batch to the
+	// network (hops==1: first forward after collection; >1: relay).
+	BatchForwarded(node int, t float64, batch []resources.Sample, hops int)
+	// BatchArrived: a relay daemon accepted a message from a child.
+	BatchArrived(node int, t float64, batch []resources.Sample, hops int)
+	// SampleDelivered: the sample reached the main process.
+	SampleDelivered(t float64, s resources.Sample, latencyUS float64)
+	// SampleLost: the sample left the system without reaching the main
+	// process.
+	SampleLost(node int, t float64, s resources.Sample, reason procs.LossReason)
+	// ResetAccounting discards aggregates at the warmup boundary (records
+	// of still-in-flight samples survive, mirroring the model's latency
+	// accounting, which measures carryover samples from generation).
+	ResetAccounting()
+}
 
 // Collector is the one-stop observer wired through a model: it fans each
-// instrumentation callback into the optional trace sink and metrics
-// registry. A nil Sink or Metrics disables that half; the corresponding
-// work is skipped.
+// instrumentation callback into the optional trace sink, metrics
+// registry, and per-sample flow observer. A nil Sink, Metrics, or Flow
+// disables that third; the corresponding work is skipped.
 //
 // Collector satisfies des.Observer, resources.PipeObserver, and
 // procs.Observer.
 type Collector struct {
 	Sink    *TraceSink
 	Metrics *Metrics
+	Flow    FlowObserver
 }
 
 // NewCollector returns a collector with the requested halves enabled.
@@ -68,6 +103,9 @@ func (c *Collector) ResetAccounting() {
 	}
 	if c.Metrics != nil {
 		c.Metrics.Reset()
+	}
+	if c.Flow != nil {
+		c.Flow.ResetAccounting()
 	}
 }
 
@@ -96,6 +134,9 @@ func (c *Collector) SampleGenerated(t float64, s resources.Sample, blocked bool)
 			c.Metrics.BlockedPuts.Add(1)
 		}
 	}
+	if c.Flow != nil {
+		c.Flow.SampleGenerated(t, s, blocked)
+	}
 	if c.Sink != nil {
 		c.Sink.addEvent(Event{Kind: EvSampleGenerated, TUS: t, Node: s.Node, Proc: s.Proc, Seq: s.Seq})
 		if blocked {
@@ -106,6 +147,9 @@ func (c *Collector) SampleGenerated(t float64, s resources.Sample, blocked bool)
 
 // PipePut implements resources.PipeObserver: a sample entered a pipe.
 func (c *Collector) PipePut(pipe int, t float64, s resources.Sample, depth int) {
+	if c.Flow != nil {
+		c.Flow.PipePut(t, s)
+	}
 	if c.Sink != nil {
 		c.Sink.addEvent(Event{Kind: EvPipePut, TUS: t, Unit: pipe, Node: s.Node, Proc: s.Proc, Seq: s.Seq, N: depth})
 	}
@@ -125,6 +169,9 @@ func (c *Collector) PipeDropped(pipe int, t float64, s resources.Sample, oldest 
 	if c.Metrics != nil {
 		c.Metrics.Dropped.Add(1)
 	}
+	if c.Flow != nil {
+		c.Flow.PipeDropped(t, s)
+	}
 	if c.Sink != nil {
 		n := 0
 		if oldest {
@@ -136,6 +183,9 @@ func (c *Collector) PipeDropped(pipe int, t float64, s resources.Sample, oldest 
 
 // PipeGet implements resources.PipeObserver: a daemon drained a sample.
 func (c *Collector) PipeGet(pipe int, t float64, s resources.Sample, depth int) {
+	if c.Flow != nil {
+		c.Flow.PipeGet(t, s)
+	}
 	if c.Sink != nil {
 		c.Sink.addEvent(Event{Kind: EvPipeGet, TUS: t, Unit: pipe, Node: s.Node, Proc: s.Proc, Seq: s.Seq, N: depth})
 	}
@@ -154,12 +204,31 @@ func (c *Collector) BatchCollected(node int, t float64, samples int) {
 
 // MessageForwarded implements procs.Observer: a daemon put a message on
 // the network toward its parent or the main process.
-func (c *Collector) MessageForwarded(node int, t float64, samples, hops int) {
+func (c *Collector) MessageForwarded(node int, t float64, batch []resources.Sample, hops int) {
 	if c.Metrics != nil {
 		c.Metrics.Forwards.Add(1)
 	}
+	if c.Flow != nil {
+		c.Flow.BatchForwarded(node, t, batch, hops)
+	}
 	if c.Sink != nil {
-		c.Sink.addEvent(Event{Kind: EvMessageForwarded, TUS: t, Node: node, N: samples, Hops: hops})
+		c.Sink.addEvent(Event{Kind: EvMessageForwarded, TUS: t, Node: node, N: len(batch), Hops: hops})
+		for _, s := range batch {
+			c.Sink.addEvent(Event{Kind: EvSampleForwarded, TUS: t, Unit: node, Node: s.Node, Proc: s.Proc, Seq: s.Seq, Hops: hops})
+		}
+	}
+}
+
+// MessageReceived implements procs.Observer: a relay daemon accepted a
+// message from a child for merging (tree forwarding).
+func (c *Collector) MessageReceived(node int, t float64, batch []resources.Sample, hops int) {
+	if c.Flow != nil {
+		c.Flow.BatchArrived(node, t, batch, hops)
+	}
+	if c.Sink != nil {
+		for _, s := range batch {
+			c.Sink.addEvent(Event{Kind: EvSampleArrived, TUS: t, Unit: node, Node: s.Node, Proc: s.Proc, Seq: s.Seq, Hops: hops})
+		}
 	}
 }
 
@@ -181,8 +250,26 @@ func (c *Collector) SampleDelivered(t float64, s resources.Sample, latencyUS flo
 		c.Metrics.Delivered.Add(1)
 		c.Metrics.Latency.Observe(latencyUS)
 	}
+	if c.Flow != nil {
+		c.Flow.SampleDelivered(t, s, latencyUS)
+	}
 	if c.Sink != nil {
 		c.Sink.addEvent(Event{Kind: EvSampleDelivered, TUS: s.GenTime, DurUS: latencyUS, Node: s.Node, Proc: s.Proc, Seq: s.Seq})
+	}
+}
+
+// SampleLost implements procs.Observer: one sample left the system
+// without reaching the main process (thinning, crash, link loss, or an
+// exhausted retransmission budget).
+func (c *Collector) SampleLost(node int, t float64, s resources.Sample, reason procs.LossReason) {
+	if c.Metrics != nil {
+		c.Metrics.Lost.Add(1)
+	}
+	if c.Flow != nil {
+		c.Flow.SampleLost(node, t, s, reason)
+	}
+	if c.Sink != nil {
+		c.Sink.addEvent(Event{Kind: EvSampleLost, TUS: t, Unit: node, Node: s.Node, Proc: s.Proc, Seq: s.Seq, N: int(reason)})
 	}
 }
 

@@ -46,6 +46,14 @@ const (
 	EvDaemonCrash
 	EvDaemonRestore
 	EvRetransmit
+	// EvSampleForwarded/EvSampleArrived carry per-sample identity through
+	// the forwarding path (Unit is the daemon's node) so a sample's hops
+	// are reconstructible from the trace; EvSampleLost closes the path for
+	// samples that never reach the main process (N is the
+	// procs.LossReason).
+	EvSampleForwarded
+	EvSampleArrived
+	EvSampleLost
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +85,12 @@ func (k EventKind) String() string {
 		return "daemon-restore"
 	case EvRetransmit:
 		return "retransmit"
+	case EvSampleForwarded:
+		return "sample-forwarded"
+	case EvSampleArrived:
+		return "sample-arrived"
+	case EvSampleLost:
+		return "sample-lost"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -187,14 +201,19 @@ func (s *TraceSink) TraceRecords() []trace.Record {
 // axis groups tracks: one pid per CPU, one for the network, one per
 // node's sample lifecycle, one per pipe.
 const (
-	chromePIDNet    = 999
-	chromePIDCPU    = 1000 // + CPU unit
-	chromePIDSample = 2000 // + node
+	chromePIDNet = 999
+	chromePIDCPU = 1000 // + CPU unit
+	// ChromePIDSample is the pid base of the per-node sample-lifecycle
+	// tracks (pid = ChromePIDSample + node). Exported so trace consumers
+	// (roccviz -lat) can recover a delivered sample's node from its span.
+	ChromePIDSample = 2000
 	chromePIDPipe   = 4000 // + pipe ID
 )
 
 // chromeEvent is one trace-event object. Fields follow the Trace Event
-// Format spec: ph "X" = complete (ts+dur), "i" = instant, "M" = metadata.
+// Format spec: ph "X" = complete (ts+dur), "i" = instant, "M" = metadata,
+// "s"/"t"/"f" = flow start/step/end (ID binds the flow; BP "e" makes the
+// flow end bind to the enclosing slice).
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -204,7 +223,17 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// flowCat is the category of sample-path flow events; flowID is the
+// per-sample flow binding (unique because Seq never resets).
+const flowCat = "sampleflow"
+
+func flowID(node, proc, seq int) string {
+	return fmt.Sprintf("n%d.p%d.s%d", node, proc, seq)
 }
 
 // ownerTID gives each owner class a stable thread row within a CPU track.
@@ -226,8 +255,13 @@ func ownerTID(owner string) int {
 
 // WriteChrome exports the run as Chrome trace-event JSON: one "X"
 // (complete) event per occupancy span and per delivered sample, one "i"
-// (instant) event per lifecycle event, plus "M" process_name metadata so
-// Perfetto labels the tracks.
+// (instant) event per lifecycle event, "M" process_name metadata so
+// Perfetto labels the tracks, and "s"/"t"/"f" flow events linking each
+// sample's spans across pipe→daemon→network→main so viewers render
+// end-to-end arrows. Flow events are emitted only for samples whose
+// generation is in the trace (warmup-truncated paths would otherwise
+// produce flow steps with no start), and each flow ends at most once
+// (first delivery or loss wins; injected duplicates add no second end).
 func (s *TraceSink) WriteChrome(w io.Writer) error {
 	events := make([]chromeEvent, 0, len(s.spans)+len(s.events)+16)
 	named := map[int]string{}
@@ -240,6 +274,13 @@ func (s *TraceSink) WriteChrome(w io.Writer) error {
 			})
 		}
 	}
+	gen := map[string]bool{}
+	for _, e := range s.events {
+		if e.Kind == EvSampleGenerated {
+			gen[flowID(e.Node, e.Proc, e.Seq)] = true
+		}
+	}
+	ended := map[string]bool{}
 	for _, sp := range s.spans {
 		pid, cat := chromePIDNet, "net"
 		if sp.Kind == OccCPU {
@@ -256,8 +297,50 @@ func (s *TraceSink) WriteChrome(w io.Writer) error {
 	}
 	for _, e := range s.events {
 		switch e.Kind {
+		case EvSampleGenerated:
+			pid := ChromePIDSample + e.Node
+			name(pid, fmt.Sprintf("node %d samples", e.Node))
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Cat: "lifecycle", Ph: "i",
+				TS: e.TUS, PID: pid, TID: 1, S: "t",
+				Args: map[string]any{"n": e.N, "hops": e.Hops},
+			})
+			events = append(events, chromeEvent{
+				Name: "sample path", Cat: flowCat, Ph: "s",
+				TS: e.TUS, PID: pid, TID: 1,
+				ID:   flowID(e.Node, e.Proc, e.Seq),
+				Args: map[string]any{"node": e.Node, "proc": e.Proc, "seq": e.Seq},
+			})
+		case EvSampleForwarded, EvSampleArrived:
+			id := flowID(e.Node, e.Proc, e.Seq)
+			if !gen[id] {
+				continue
+			}
+			pid := ChromePIDSample + e.Node
+			name(pid, fmt.Sprintf("node %d samples", e.Node))
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Cat: flowCat, Ph: "t",
+				TS: e.TUS, PID: pid, TID: 1, ID: id,
+				Args: map[string]any{"pd": e.Unit, "hops": e.Hops},
+			})
+		case EvSampleLost:
+			pid := ChromePIDSample + e.Node
+			name(pid, fmt.Sprintf("node %d samples", e.Node))
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Cat: "lifecycle", Ph: "i",
+				TS: e.TUS, PID: pid, TID: 1, S: "t",
+				Args: map[string]any{"reason": procs.LossReason(e.N).String(), "pd": e.Unit},
+			})
+			id := flowID(e.Node, e.Proc, e.Seq)
+			if gen[id] && !ended[id] {
+				ended[id] = true
+				events = append(events, chromeEvent{
+					Name: "sample path", Cat: flowCat, Ph: "f",
+					TS: e.TUS, PID: pid, TID: 1, ID: id, BP: "e",
+				})
+			}
 		case EvSampleDelivered:
-			pid := chromePIDSample + e.Node
+			pid := ChromePIDSample + e.Node
 			name(pid, fmt.Sprintf("node %d samples", e.Node))
 			events = append(events, chromeEvent{
 				Name: fmt.Sprintf("sample p%d #%d", e.Proc, e.Seq),
@@ -266,6 +349,14 @@ func (s *TraceSink) WriteChrome(w io.Writer) error {
 				PID: pid, TID: 1 + e.Proc,
 				Args: map[string]any{"latency_us": e.DurUS},
 			})
+			id := flowID(e.Node, e.Proc, e.Seq)
+			if gen[id] && !ended[id] {
+				ended[id] = true
+				events = append(events, chromeEvent{
+					Name: "sample path", Cat: flowCat, Ph: "f",
+					TS: e.TUS + e.DurUS, PID: pid, TID: 1 + e.Proc, ID: id, BP: "e",
+				})
+			}
 		case EvPipePut, EvPipeBlocked, EvPipeDropped, EvPipeGet:
 			pid := chromePIDPipe + e.Unit
 			name(pid, fmt.Sprintf("pipe %d", e.Unit))
@@ -275,7 +366,7 @@ func (s *TraceSink) WriteChrome(w io.Writer) error {
 				Args: map[string]any{"node": e.Node, "proc": e.Proc, "seq": e.Seq, "n": e.N},
 			})
 		default:
-			pid := chromePIDSample + e.Node
+			pid := ChromePIDSample + e.Node
 			name(pid, fmt.Sprintf("node %d samples", e.Node))
 			events = append(events, chromeEvent{
 				Name: e.Kind.String(), Cat: "lifecycle", Ph: "i",
@@ -291,8 +382,11 @@ func (s *TraceSink) WriteChrome(w io.Writer) error {
 // ValidateChrome parses Chrome trace-event JSON produced by WriteChrome
 // (or any conforming array-form trace) and returns the event count. It
 // checks the structural invariants a viewer relies on: a non-empty array,
-// a known phase on every event, and non-negative timestamps and
-// durations. Used by the CI trace-export smoke step and roccviz -check.
+// a known phase on every event, non-negative timestamps and durations,
+// and well-formed flows — every "s"/"t"/"f" carries an id, each (cat, id)
+// starts exactly once, steps and ends have a matching start with the same
+// cat, and no flow ends twice. Used by the CI trace-export smoke step and
+// roccviz -check.
 func ValidateChrome(r io.Reader) (int, error) {
 	var events []chromeEvent
 	dec := json.NewDecoder(r)
@@ -302,9 +396,38 @@ func ValidateChrome(r io.Reader) (int, error) {
 	if len(events) == 0 {
 		return 0, fmt.Errorf("obs: trace contains no events")
 	}
+	type flowKey struct{ cat, id string }
+	starts := map[flowKey]bool{}
+	for i, e := range events {
+		if e.Ph == "s" {
+			if e.ID == "" {
+				return 0, fmt.Errorf("obs: event %d: flow start without id", i)
+			}
+			k := flowKey{e.Cat, e.ID}
+			if starts[k] {
+				return 0, fmt.Errorf("obs: event %d: duplicate flow start %s/%s", i, e.Cat, e.ID)
+			}
+			starts[k] = true
+		}
+	}
+	ended := map[flowKey]bool{}
 	for i, e := range events {
 		switch e.Ph {
-		case "X", "i", "M", "B", "E", "C":
+		case "X", "i", "M", "B", "E", "C", "s":
+		case "t", "f":
+			if e.ID == "" {
+				return 0, fmt.Errorf("obs: event %d: flow %q without id", i, e.Ph)
+			}
+			k := flowKey{e.Cat, e.ID}
+			if !starts[k] {
+				return 0, fmt.Errorf("obs: event %d: flow %q %s/%s has no matching start", i, e.Ph, e.Cat, e.ID)
+			}
+			if e.Ph == "f" {
+				if ended[k] {
+					return 0, fmt.Errorf("obs: event %d: flow %s/%s ends twice", i, e.Cat, e.ID)
+				}
+				ended[k] = true
+			}
 		default:
 			return 0, fmt.Errorf("obs: event %d: unknown phase %q", i, e.Ph)
 		}

@@ -79,24 +79,87 @@ func TestWriteChromeValidates(t *testing.T) {
 		t.Fatalf("export does not validate: %v\n%s", err, out)
 	}
 	// 2 spans + 6 lifecycle events + metadata (cpu 0, network, pipe 3,
-	// node-0 samples, node-1 samples).
-	if want := 2 + 6 + 5; n != want {
+	// node-0 samples, node-1 samples) + the sample's flow start and end.
+	if want := 2 + 6 + 5 + 2; n != want {
 		t.Fatalf("validated %d events, want %d\n%s", n, want, out)
 	}
-	for _, needle := range []string{`"ph":"X"`, `"ph":"i"`, `"ph":"M"`, "sample p2 #7", "daemon-crash"} {
+	for _, needle := range []string{`"ph":"X"`, `"ph":"i"`, `"ph":"M"`, "sample p2 #7", "daemon-crash",
+		`"ph":"s"`, `"ph":"f"`, `"id":"n0.p2.s7"`, `"bp":"e"`} {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("export missing %q:\n%s", needle, out)
 		}
 	}
 }
 
+// TestWriteChromeFlowPath drives a full multi-hop sample path — generate,
+// pipe, forward, relay arrival, re-forward, delivery — plus a lost sample
+// and an injected duplicate delivery, and checks the flow-event contract:
+// one "s" per generated sample, "t" steps along the path, exactly one "f"
+// even when the sample is delivered twice, and no flow events at all for
+// a sample whose generation predates the trace (warmup truncation).
+func TestWriteChromeFlowPath(t *testing.T) {
+	c := NewCollector(true, false)
+	a := resources.Sample{GenTime: 10, Node: 0, Proc: 0, Seq: 1}
+	b := resources.Sample{GenTime: 12, Node: 0, Proc: 0, Seq: 2}
+	ghost := resources.Sample{GenTime: 1, Node: 0, Proc: 0, Seq: 0} // not generated in-trace
+
+	c.SampleGenerated(10, a, false)
+	c.SampleGenerated(12, b, false)
+	c.PipePut(0, 10, a, 1)
+	c.PipePut(0, 12, b, 2)
+	c.PipeGet(0, 20, a, 1)
+	c.PipeGet(0, 20, b, 0)
+	batch := []resources.Sample{a, b, ghost}
+	c.MessageForwarded(0, 25, batch, 1)
+	c.MessageReceived(1, 30, batch, 1)
+	c.MessageForwarded(1, 33, batch, 2)
+	c.SampleDelivered(40, a, 30)
+	c.SampleDelivered(41, a, 31) // injected duplicate: no second flow end
+	c.SampleLost(1, 41, b, procs.LossCrash)
+
+	var buf bytes.Buffer
+	if err := c.Sink.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if _, err := ValidateChrome(strings.NewReader(out)); err != nil {
+		t.Fatalf("flow export does not validate: %v\n%s", err, out)
+	}
+	if got, want := strings.Count(out, `"ph":"s"`), 2; got != want {
+		t.Fatalf("%d flow starts, want %d\n%s", got, want, out)
+	}
+	if got, want := strings.Count(out, `"ph":"f"`), 2; got != want {
+		t.Fatalf("%d flow ends, want %d (one per sample, duplicates excluded)\n%s", got, want, out)
+	}
+	// Each sample's path: forwarded, arrived, re-forwarded = 3 steps.
+	if got, want := strings.Count(out, `"ph":"t"`), 6; got != want {
+		t.Fatalf("%d flow steps, want %d\n%s", got, want, out)
+	}
+	if strings.Contains(out, `"id":"n0.p0.s0"`) {
+		t.Fatalf("ghost sample (generated pre-trace) got flow events:\n%s", out)
+	}
+	if !strings.Contains(out, "sample-lost") {
+		t.Fatalf("lost sample not in export:\n%s", out)
+	}
+}
+
 func TestValidateChromeRejectsGarbage(t *testing.T) {
 	for name, in := range map[string]string{
-		"not JSON":      "perfetto",
-		"empty array":   "[]",
-		"unknown phase": `[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]`,
-		"negative time": `[{"name":"x","ph":"X","ts":-5,"pid":1,"tid":1}]`,
-		"unnamed event": `[{"ph":"i","ts":0,"pid":1,"tid":1}]`,
+		"not JSON":                "perfetto",
+		"empty array":             "[]",
+		"unknown phase":           `[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]`,
+		"negative time":           `[{"name":"x","ph":"X","ts":-5,"pid":1,"tid":1}]`,
+		"unnamed event":           `[{"ph":"i","ts":0,"pid":1,"tid":1}]`,
+		"flow start without id":   `[{"name":"x","ph":"s","ts":0,"pid":1,"tid":1}]`,
+		"flow end without start":  `[{"name":"x","ph":"f","ts":0,"pid":1,"tid":1,"id":"a","cat":"c"}]`,
+		"flow step without start": `[{"name":"x","ph":"t","ts":0,"pid":1,"tid":1,"id":"a","cat":"c"}]`,
+		"flow cat mismatch": `[{"name":"x","ph":"s","ts":0,"pid":1,"tid":1,"id":"a","cat":"c1"},` +
+			`{"name":"x","ph":"f","ts":1,"pid":1,"tid":1,"id":"a","cat":"c2"}]`,
+		"duplicate flow start": `[{"name":"x","ph":"s","ts":0,"pid":1,"tid":1,"id":"a","cat":"c"},` +
+			`{"name":"x","ph":"s","ts":1,"pid":1,"tid":1,"id":"a","cat":"c"}]`,
+		"flow ends twice": `[{"name":"x","ph":"s","ts":0,"pid":1,"tid":1,"id":"a","cat":"c"},` +
+			`{"name":"x","ph":"f","ts":1,"pid":1,"tid":1,"id":"a","cat":"c"},` +
+			`{"name":"x","ph":"f","ts":2,"pid":1,"tid":1,"id":"a","cat":"c"}]`,
 	} {
 		if _, err := ValidateChrome(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: validated, want error", name)
@@ -110,9 +173,10 @@ func TestCollectorMetricsCounters(t *testing.T) {
 	c.SampleGenerated(1, sample, true)
 	c.PipeDropped(0, 2, sample, false)
 	c.BatchCollected(0, 3, 8)
-	c.MessageForwarded(0, 4, 8, 1)
+	c.MessageForwarded(0, 4, []resources.Sample{sample}, 1)
 	c.MessageDelivered(5, 8, 1)
 	c.SampleDelivered(5, sample, 4)
+	c.SampleLost(0, 6, resources.Sample{Seq: 9}, procs.LossThinned)
 	c.DaemonCrashed(0, 6, 2)
 	c.MessageRetransmitted(0, 7, 1)
 	m := c.Metrics
@@ -130,6 +194,7 @@ func TestCollectorMetricsCounters(t *testing.T) {
 		{"delivered", m.Delivered.Value(), 1},
 		{"crashes", m.Crashes.Value(), 1},
 		{"retransmits", m.Retransmits.Value(), 1},
+		{"lost", m.Lost.Value(), 1},
 	} {
 		if tc.got != tc.want {
 			t.Errorf("%s = %d, want %d", tc.name, tc.got, tc.want)

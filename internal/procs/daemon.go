@@ -129,6 +129,11 @@ func (d *PdDaemon) Crash() {
 	lost := 0
 	for _, m := range d.relayQ {
 		lost += len(m.Samples)
+		if d.Obs != nil {
+			for _, s := range m.Samples {
+				d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossCrash)
+			}
+		}
 	}
 	d.CrashLostSamples += lost
 	d.relayQ = nil
@@ -175,7 +180,15 @@ func (d *PdDaemon) available() int {
 func (d *PdDaemon) Receive(msg *forward.Message) {
 	if d.down {
 		d.CrashLostSamples += len(msg.Samples)
+		if d.Obs != nil {
+			for _, s := range msg.Samples {
+				d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossCrash)
+			}
+		}
 		return
+	}
+	if d.Obs != nil {
+		d.Obs.MessageReceived(d.Node, d.Sim.Now(), msg.Samples, msg.Hops)
 	}
 	d.relayQ = append(d.relayQ, msg)
 	d.Wake()
@@ -206,6 +219,11 @@ func (d *PdDaemon) Wake() {
 		d.CPU.Submit(OwnerPd, d.Cost.MergeCPU(d.R), func() {
 			if d.epoch != epoch { // crashed mid-merge: message lost
 				d.CrashLostSamples += len(msg.Samples)
+				if d.Obs != nil {
+					for _, s := range msg.Samples {
+						d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossCrash)
+					}
+				}
 				return
 			}
 			d.MessagesMerged++
@@ -251,6 +269,11 @@ func (d *PdDaemon) Wake() {
 		d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
 			if d.epoch != epoch { // crashed mid-collection: batch lost
 				d.CrashLostSamples += len(batch)
+				if d.Obs != nil {
+					for _, s := range batch {
+						d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossCrash)
+					}
+				}
 				return
 			}
 			d.observe(strat, batch, capTotal)
@@ -304,6 +327,11 @@ func (d *PdDaemon) flush() {
 	d.CPU.Submit(OwnerPd, d.Cost.MsgCPU(d.R, len(batch)), func() {
 		if d.epoch != epoch {
 			d.CrashLostSamples += len(batch)
+			if d.Obs != nil {
+				for _, s := range batch {
+					d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossCrash)
+				}
+			}
 			return
 		}
 		d.observe(strat, batch, capTotal)
@@ -344,6 +372,8 @@ func (d *PdDaemon) drain(want int) []resources.Sample {
 		for _, s := range out {
 			if d.thinSeq%d.Thinning == 0 {
 				kept = append(kept, s)
+			} else if d.Obs != nil {
+				d.Obs.SampleLost(d.Node, d.Sim.Now(), s, LossThinned)
 			}
 			d.thinSeq++
 		}
@@ -362,7 +392,7 @@ func (d *PdDaemon) send(msg *forward.Message) {
 	d.MessagesForwarded++
 	d.SamplesForwarded += len(msg.Samples)
 	if d.Obs != nil {
-		d.Obs.MessageForwarded(d.Node, d.Sim.Now(), len(msg.Samples), msg.Hops)
+		d.Obs.MessageForwarded(d.Node, d.Sim.Now(), msg.Samples, msg.Hops)
 	}
 	netLen := d.Cost.MsgNet(d.R, len(msg.Samples))
 	deliver := d.Deliver

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaterfallRender(t *testing.T) {
+	wf := &Waterfall{
+		Title: "latency decomposition",
+		Rows: []StageRow{
+			{Stage: "pipe-wait", MeanUS: 120, P50US: 80, P95US: 400, P99US: 900, SharePct: 10},
+			{Stage: "batch-residency", MeanUS: 800, P50US: 700, P95US: 1900, P99US: 2400, SharePct: 62.5},
+			{Stage: "network-transit", MeanUS: 30, P50US: 25, P95US: 60, P99US: 90, SharePct: 2.5},
+			{Stage: "main-receipt", MeanUS: 0, P50US: 0, P95US: 0, P99US: 0, SharePct: 0},
+		},
+		BarWidth: 40,
+	}
+	out := wf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+len(wf.Rows) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), 2+len(wf.Rows), out)
+	}
+	if !strings.HasPrefix(lines[0], "== latency decomposition ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	// 62.5% of a 40-wide bar = 25 hashes; 10% = 4; 2.5% = 1; 0% = none.
+	for _, tc := range []struct {
+		stage string
+		bar   int
+	}{
+		{"batch-residency", 25}, {"pipe-wait", 4}, {"network-transit", 1}, {"main-receipt", 0},
+	} {
+		var line string
+		for _, l := range lines {
+			if strings.HasPrefix(l, tc.stage) {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("stage %s missing:\n%s", tc.stage, out)
+		}
+		if got := strings.Count(line, "#"); got != tc.bar {
+			t.Errorf("%s bar = %d hashes, want %d: %q", tc.stage, got, tc.bar, line)
+		}
+	}
+	if !strings.Contains(out, "62.5%") || !strings.Contains(out, "mean_us") {
+		t.Fatalf("missing share or header:\n%s", out)
+	}
+}
+
+func TestWaterfallTinyShareStillVisible(t *testing.T) {
+	wf := &Waterfall{Rows: []StageRow{{Stage: "merge", SharePct: 0.1}}}
+	if strings.Count(wf.String(), "#") != 1 {
+		t.Fatalf("nonzero share must render at least one hash:\n%s", wf.String())
+	}
+}

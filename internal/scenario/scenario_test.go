@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestRoundTripDefaultConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Results[0] != r2.Results[0] {
+	if !reflect.DeepEqual(r1.Results[0], r2.Results[0]) {
 		t.Fatal("round-tripped scenario simulates differently")
 	}
 }

@@ -2,6 +2,7 @@ package rocc
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -218,10 +219,10 @@ func TestPublicAPISweepDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != want {
+	if !reflect.DeepEqual(got[0], want) {
 		t.Fatal("SweepDistributed job 0 diverges from Simulate at the same seed")
 	}
-	if got[1] == want {
+	if reflect.DeepEqual(got[1], want) {
 		t.Fatal("distinct seeds produced identical results")
 	}
 }

@@ -5,27 +5,51 @@
 // line, or missing # EOF terminator is a non-zero exit. CI curls a
 // running sweep's /metrics through it.
 //
+// With -require, the exposition must additionally declare at least one
+// family whose name starts with each given prefix (flag repeats), so CI
+// can assert that e.g. the rocc_latency_stage_* provenance families made
+// it into a scrape.
+//
 // Usage:
 //
 //	checkexpo metrics.txt
 //	curl -s localhost:9090/metrics | go run ./tools/checkexpo -
+//	checkexpo -require rocc_latency_stage_ metrics.txt
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rocc/internal/obs/live"
 )
 
+// prefixList collects repeated -require flags.
+type prefixList []string
+
+func (p *prefixList) String() string { return strings.Join(*p, ",") }
+func (p *prefixList) Set(s string) error {
+	*p = append(*p, s)
+	return nil
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkexpo <file|->")
+	var require prefixList
+	flag.Var(&require, "require", "family name prefix that must appear (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: checkexpo [-require prefix]... <file|->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
 	var r io.Reader
-	name := os.Args[1]
+	name := flag.Arg(0)
 	if name == "-" {
 		r = os.Stdin
 		name = "stdin"
@@ -38,10 +62,24 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	n, err := live.ParseExposition(r)
+	n, families, err := live.ParseExpositionFamilies(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkexpo: %s: %v\n", name, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: valid OpenMetrics exposition, %d samples\n", name, n)
+	for _, prefix := range require {
+		found := 0
+		for _, f := range families {
+			if strings.HasPrefix(f, prefix) {
+				found++
+			}
+		}
+		if found == 0 {
+			fmt.Fprintf(os.Stderr, "checkexpo: %s: no family with prefix %q (have %d families)\n",
+				name, prefix, len(families))
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d families with prefix %q\n", name, found, prefix)
+	}
+	fmt.Printf("%s: valid OpenMetrics exposition, %d samples, %d families\n", name, n, len(families))
 }
